@@ -1,0 +1,172 @@
+(* Benchmark harness.
+
+   Two layers, both in this executable:
+
+   1. Bechamel micro-benchmarks — one Test.make per paper table/figure,
+      measuring the primitive operation that artefact exercises
+      (capability checks for Fig. 3, the ff_write fast path for
+      Fig. 4, the trampoline for Fig. 5, the umtx mutex for Fig. 6, the
+      poll-loop iteration for Table II, the LoC accounting for Table I).
+
+   2. The full regeneration of every table and figure through
+      Core.Experiment, printing the same rows/series the paper reports.
+
+   Usage:
+     bench/main.exe                  micro-benches + all artefacts (full profile)
+     bench/main.exe quick            micro-benches + all artefacts (quick profile)
+     bench/main.exe table2 fig4 ...  only those artefacts (full profile)
+     bench/main.exe micro            micro-benches only *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark subjects                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Table I: source accounting. *)
+let bench_loc =
+  Test.make ~name:"table1/loc-accounting"
+    (Staged.stage (fun () -> ignore (Core.Loc_table.compute ())))
+
+(* Table II: one poll-mode main-loop iteration (idle path). *)
+let bench_loop =
+  let mt, _fd, _buf =
+    Core.Measurement.setup_connected ~mode:`Direct ~write_size:64 ()
+  in
+  mt.Core.Scenarios.mt_built.Core.Scenarios.stop ();
+  let stack = mt.Core.Scenarios.mt_stack in
+  Test.make ~name:"table2/stack-loop-iteration"
+    (Staged.stage (fun () -> ignore (Netstack.Stack.loop_once stack)))
+
+(* Fig. 3: the capability check that turns an overflow into a trap. *)
+let bench_capcheck =
+  let cap =
+    Cheri.Capability.root ~base:0x1000 ~length:256 ~perms:Cheri.Perms.data
+  in
+  let inside () =
+    Cheri.Capability.check_access cap Cheri.Capability.Load ~addr:0x1000 ~len:16
+  in
+  let outside () =
+    match
+      Cheri.Capability.check_access cap Cheri.Capability.Load ~addr:0x1100 ~len:16
+    with
+    | () -> assert false
+    | exception Cheri.Fault.Capability_fault _ -> ()
+  in
+  [
+    Test.make ~name:"fig3/capability-check-hit" (Staged.stage inside);
+    Test.make ~name:"fig3/capability-fault" (Staged.stage outside);
+  ]
+
+(* Fig. 4: the direct (Baseline / Scenario 1) ff_write fast path. The
+   peer window is forced shut so no segments are emitted; the send
+   buffer is drained manually, modelling the ACK clock. *)
+let bench_ff_write =
+  let mt, fd, buf =
+    Core.Measurement.setup_connected ~seed:52L ~mode:`Direct ~write_size:64 ()
+  in
+  mt.Core.Scenarios.mt_built.Core.Scenarios.stop ();
+  let stack = mt.Core.Scenarios.mt_stack in
+  let ff = mt.Core.Scenarios.mt_ff in
+  let sock =
+    match Netstack.Stack.tcp_sock_of_fd stack fd with
+    | Some s -> s
+    | None -> assert false
+  in
+  sock.Netstack.Socket.cb.Netstack.Tcp_cb.snd_wnd <- 0;
+  Test.make ~name:"fig4/ff_write-direct"
+    (Staged.stage (fun () ->
+         match Netstack.Ff_api.ff_write ff fd ~buf ~nbytes:64 with
+         | Ok n ->
+           Netstack.Ring_buf.drop sock.Netstack.Socket.cb.Netstack.Tcp_cb.snd_buf n
+         | Error _ -> ()))
+
+(* Fig. 5: the cross-compartment trampoline (unseal + entry check). *)
+let bench_trampoline =
+  let engine = Dsim.Engine.create () in
+  let iv =
+    Capvm.Intravisor.create engine ~mem_size:(1 lsl 20)
+      ~cost:Dsim.Cost_model.default
+  in
+  let cvm = Capvm.Intravisor.create_cvm iv ~name:"bench" ~size:(1 lsl 16) in
+  Test.make ~name:"fig5/trampoline-round-trip"
+    (Staged.stage (fun () ->
+         ignore (Capvm.Intravisor.trampoline iv ~into:cvm (fun () -> ()))))
+
+(* Fig. 6: an uncontended umtx acquire/release cycle. *)
+let bench_umtx =
+  let engine = Dsim.Engine.create () in
+  let mu = Capvm.Umtx.create engine () in
+  Test.make ~name:"fig6/umtx-acquire-release"
+    (Staged.stage (fun () ->
+         Capvm.Umtx.acquire mu ~owner:"bench" (fun ~wait_ns:_ -> ());
+         Capvm.Umtx.release mu))
+
+let micro_tests () =
+  Test.make_grouped ~name:"cheri-netstack"
+    ([ bench_loc; bench_loop ] @ bench_capcheck
+    @ [ bench_ff_write; bench_trampoline; bench_umtx ])
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline
+    "--- micro-benchmarks (host-machine cost of simulator primitives) ---";
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with
+        | Some [ e ] -> Printf.sprintf "%10.1f ns/run" e
+        | Some _ | None -> "n/a"
+      in
+      Printf.printf "%-45s %s\n" name est)
+    (List.sort compare rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Paper artefact regeneration                                          *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate profile ids =
+  let specs =
+    match ids with
+    | [] -> Core.Experiment.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Core.Experiment.find id with
+          | Some s -> Some s
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" id
+              (String.concat ", " (Core.Experiment.ids ()));
+            exit 2)
+        ids
+  in
+  List.iter
+    (fun (s : Core.Experiment.spec) ->
+      Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
+        s.Core.Experiment.paper_ref s.Core.Experiment.title
+        (s.Core.Experiment.render profile);
+      flush stdout)
+    specs
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [] ->
+    run_micro ();
+    regenerate Core.Experiment.full []
+  | "quick" :: rest ->
+    run_micro ();
+    regenerate Core.Experiment.quick rest
+  | ids -> regenerate Core.Experiment.full ids

@@ -1,0 +1,97 @@
+(* netrepro - regenerate the paper's tables and figures from the
+   simulated CHERI-compartmentalized network stack. *)
+
+let list_experiments () =
+  List.iter
+    (fun (s : Core.Experiment.spec) ->
+      Printf.printf "%-14s %-10s %s\n" s.Core.Experiment.id
+        s.Core.Experiment.paper_ref s.Core.Experiment.title)
+    Core.Experiment.all;
+  0
+
+let profile_of quick iterations =
+  let base = if quick then Core.Experiment.quick else Core.Experiment.full in
+  match iterations with
+  | None -> base
+  | Some n -> { base with Core.Experiment.iterations = n }
+
+let run_experiment ids quick iterations =
+  let profile = profile_of quick iterations in
+  let targets =
+    match ids with
+    | [] -> Core.Experiment.all
+    | ids -> (
+      match
+        List.map
+          (fun id ->
+            match Core.Experiment.find id with
+            | Some s -> Ok s
+            | None -> Error id)
+          ids
+        |> List.partition_map (function Ok s -> Left s | Error e -> Right e)
+      with
+      | specs, [] -> specs
+      | _, missing ->
+        Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
+          (String.concat ", " missing)
+          (String.concat ", " (Core.Experiment.ids ()));
+        exit 2)
+  in
+  List.iter
+    (fun (s : Core.Experiment.spec) ->
+      Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
+        s.Core.Experiment.paper_ref s.Core.Experiment.title
+        (s.Core.Experiment.render profile);
+      flush stdout)
+    targets;
+  0
+
+let run_attacks () =
+  List.iter
+    (fun r -> Format.printf "%a@.@." Core.Attack.pp_report r)
+    (Core.Attack.run_all ());
+  0
+
+open Cmdliner
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"CI-sized runs (short windows, few samples).")
+
+let iters_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Latency samples per configuration (paper: 1000000).")
+
+let ids_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:"Experiment ids (e.g. table2 fig4). Default: all.")
+
+let run_cmd =
+  let doc = "regenerate tables/figures" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run_experiment $ ids_arg $ quick_flag $ iters_opt)
+
+let list_cmd =
+  let doc = "list available experiments" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let attack_cmd =
+  let doc = "run the Fig. 3 compartmentalization attacks" in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attacks $ const ())
+
+let default = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "netrepro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Enabling Security on the Edge: A CHERI \
+         Compartmentalized Network Stack' (DATE 2025) on a simulated \
+         Morello/CheriBSD system."
+  in
+  exit (Cmd.eval' (Cmd.group ~default info [ run_cmd; list_cmd; attack_cmd ]))

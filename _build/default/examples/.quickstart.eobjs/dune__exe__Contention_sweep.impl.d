@@ -1,0 +1,1 @@
+examples/contention_sweep.ml: Capvm Core Dsim Float Format List Option

@@ -1,0 +1,1 @@
+examples/drone_telemetry.ml: Capvm Cheri Core Dsim Errno Format Ipv4_addr Netstack Stack

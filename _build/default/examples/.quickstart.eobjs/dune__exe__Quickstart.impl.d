@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Capvm Cheri Core Dsim Errno Ff_api Format Ipv4_addr Netstack Stack String

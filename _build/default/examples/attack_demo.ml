@@ -1,0 +1,22 @@
+(* Figure 3 demo: a compromised compartment attacks its neighbours
+   while an iperf server keeps serving traffic in another cVM.
+
+   Under CHERI every attack traps with a capability exception and the
+   victim's bandwidth is unaffected; on the flat baseline the same
+   access patterns silently leak or corrupt.
+
+     dune exec examples/attack_demo.exe *)
+
+let () =
+  Format.printf
+    "== Fig. 3: applications accessing memory outside their boundaries ==@.@.";
+  Format.printf
+    "victim: iperf server in cVM2 at full line rate; attacker: cVM3.@.@.";
+  let reports = Core.Attack.run_all () in
+  List.iter (fun r -> Format.printf "%a@.@." Core.Attack.pp_report r) reports;
+  let trapped =
+    List.for_all (fun r -> Core.Attack.outcome_is_trap r.Core.Attack.cheri) reports
+  in
+  let alive = List.for_all (fun r -> r.Core.Attack.victim_alive) reports in
+  Format.printf "all %d attacks trapped under CHERI: %b@." (List.length reports) trapped;
+  Format.printf "victim unaffected throughout: %b@." alive

@@ -1,0 +1,45 @@
+(* Beyond the paper: sweep the Scenario 2 design space the conclusion
+   points at — locking strategy (barging umtx vs FIFO ticket) and the
+   finer-grained Scenario 3 split — and watch the bandwidth/latency
+   trade-off.
+
+     dune exec examples/contention_sweep.exe *)
+
+let profile =
+  { Core.Experiment.quick with Core.Experiment.duration = Dsim.Time.ms 600 }
+
+let bw built ~fair =
+  Core.Bandwidth.run built ~warmup:(Dsim.Time.ms 200)
+    ~duration:profile.Core.Experiment.duration ~fair_share_mbit:fair ()
+
+let () =
+  Format.printf "== Locking strategy under contention (paper Sec. VI) ==@.@.";
+  List.iter
+    (fun (name, policy) ->
+      let built =
+        Core.Scenarios.build_scenario2 ~contended:true ~lock_policy:policy
+          ~direction:Core.Scenarios.Dut_sends ()
+      in
+      let mu = Option.get built.Core.Scenarios.mutex in
+      let samples = bw built ~fair:500. in
+      Format.printf "%s:@." name;
+      List.iter (fun s -> Format.printf "  %a@." Core.Bandwidth.pp_sample s) samples;
+      Format.printf "  lock: %d acquisitions, %d contended, avg wait %.1f us@.@."
+        (Capvm.Umtx.acquisitions mu)
+        (Capvm.Umtx.contended_acquisitions mu)
+        (Capvm.Umtx.total_wait_ns mu
+        /. Float.max 1. (float_of_int (Capvm.Umtx.contended_acquisitions mu))
+        /. 1e3))
+    [ ("barging umtx (paper's design)", Capvm.Umtx.Barging);
+      ("FIFO ticket lock", Capvm.Umtx.Fifo) ];
+
+  Format.printf "== Finer-grained split (Scenario 3: app | F-Stack | DPDK) ==@.@.";
+  List.iter
+    (fun (name, built) ->
+      let samples = bw built ~fair:1000. in
+      Format.printf "%s:@." name;
+      List.iter (fun s -> Format.printf "  %a@." Core.Bandwidth.pp_sample s) samples)
+    [ ( "Scenario 2 (two compartments)",
+        Core.Scenarios.build_scenario2 ~direction:Core.Scenarios.Dut_sends () );
+      ( "Scenario 3 (three compartments)",
+        Core.Scenarios.build_scenario3_split ~direction:Core.Scenarios.Dut_sends () ) ]

@@ -1,0 +1,39 @@
+(* Compare the paper's compartmentalization designs side by side:
+   bandwidth (Table II) and ff_write latency (Figs. 4-6) for Baseline,
+   Scenario 1 and Scenario 2.
+
+     dune exec examples/scenario_compare.exe            (full windows)
+     dune exec examples/scenario_compare.exe -- quick   (CI-sized) *)
+
+let () =
+  let profile =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" then
+      Core.Experiment.quick
+    else
+      { Core.Experiment.full with Core.Experiment.iterations = 20_000 }
+  in
+  Format.printf "== TCP bandwidth (Table II) ==@.@.";
+  List.iter
+    (fun (group, samples) ->
+      Format.printf "%s@." group;
+      List.iter
+        (fun s -> Format.printf "  %a@." Core.Bandwidth.pp_sample s)
+        samples)
+    (Core.Experiment.table2 ~profile ());
+  Format.printf "@.== ff_write() execution time (Figs. 4-6) ==@.@.";
+  let results =
+    List.map
+      (fun p -> Core.Measurement.run ~iterations:profile.Core.Experiment.iterations p)
+      [ Core.Measurement.Baseline; Core.Measurement.Scenario1;
+        Core.Measurement.Scenario2 { contended = false };
+        Core.Measurement.Scenario2 { contended = true } ]
+  in
+  List.iter (fun r -> Format.printf "%a@." Core.Measurement.pp_result r) results;
+  Format.printf "@.%s@."
+    (Core.Report.ascii_boxplot
+       ~labels_and_boxes:
+         (List.map
+            (fun (r : Core.Measurement.result) ->
+              (r.Core.Measurement.label, r.Core.Measurement.boxplot))
+            results)
+       ~log_scale:true ())

@@ -1,0 +1,1 @@
+lib/cheri/alloc.ml: Capability Hashtbl List Printf Tagged_memory

@@ -1,0 +1,1 @@
+lib/cheri/alloc.mli: Capability Perms Tagged_memory

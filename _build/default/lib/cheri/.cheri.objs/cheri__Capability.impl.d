@@ -1,0 +1,1 @@
+lib/cheri/capability.ml: Fault Format Option Otype Perms Printf

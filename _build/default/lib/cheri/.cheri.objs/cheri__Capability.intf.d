@@ -1,0 +1,1 @@
+lib/cheri/capability.mli: Format Otype Perms

@@ -1,0 +1,1 @@
+lib/cheri/compartment.ml: Capability Format Perms Tagged_memory

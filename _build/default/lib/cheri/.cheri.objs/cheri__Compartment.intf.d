@@ -1,0 +1,1 @@
+lib/cheri/compartment.mli: Capability Format Tagged_memory

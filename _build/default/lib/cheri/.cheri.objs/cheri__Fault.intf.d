@@ -1,0 +1,1 @@
+lib/cheri/fault.mli: Format

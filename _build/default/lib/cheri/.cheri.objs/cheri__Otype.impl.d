@@ -1,0 +1,1 @@
+lib/cheri/otype.ml: Format Int

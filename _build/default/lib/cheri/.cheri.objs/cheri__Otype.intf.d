@@ -1,0 +1,1 @@
+lib/cheri/otype.mli: Format

@@ -1,0 +1,1 @@
+lib/cheri/tagged_memory.ml: Bytes Capability Char Fault Hashtbl Perms Printf

@@ -1,0 +1,1 @@
+lib/cheri/tagged_memory.mli: Capability

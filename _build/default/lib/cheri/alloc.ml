@@ -1,0 +1,84 @@
+type block = { addr : int; size : int }
+
+type t = {
+  region : Capability.t;
+  mutable free_list : block list;  (* sorted by addr, coalesced *)
+  live : (int, int) Hashtbl.t;  (* base addr -> size *)
+  mutable live_bytes : int;
+}
+
+let align_up n a = (n + a - 1) / a * a
+
+let create ~region =
+  if not (Capability.is_tagged region) then
+    invalid_arg "Alloc.create: untagged region";
+  if Capability.is_sealed region then invalid_arg "Alloc.create: sealed region";
+  let base = align_up (Capability.base region) Tagged_memory.granule in
+  let limit = Capability.limit region in
+  let size = limit - base in
+  if size <= 0 then invalid_arg "Alloc.create: empty region";
+  {
+    region;
+    free_list = [ { addr = base; size } ];
+    live = Hashtbl.create 64;
+    live_bytes = 0;
+  }
+
+let malloc t ?perms n =
+  if n <= 0 then invalid_arg "Alloc.malloc: size must be positive";
+  let need = align_up n Tagged_memory.granule in
+  let rec take acc = function
+    | [] -> raise Out_of_memory
+    | b :: rest when b.size >= need ->
+      let remainder =
+        if b.size > need then [ { addr = b.addr + need; size = b.size - need } ]
+        else []
+      in
+      t.free_list <- List.rev_append acc (remainder @ rest);
+      b.addr
+    | b :: rest -> take (b :: acc) rest
+  in
+  let addr = take [] t.free_list in
+  Hashtbl.replace t.live addr need;
+  t.live_bytes <- t.live_bytes + need;
+  let cap = Capability.set_bounds t.region ~base:addr ~length:n in
+  match perms with None -> cap | Some p -> Capability.and_perms cap p
+
+let calloc t ?perms mem n =
+  let cap = malloc t ?perms n in
+  (* Zero through a store-capable view of the same bounds, so read-only
+     allocations can still be scrubbed before handout. *)
+  let scrub =
+    Capability.set_bounds t.region ~base:(Capability.base cap) ~length:n
+  in
+  Tagged_memory.fill mem ~cap:scrub ~addr:(Capability.base cap) ~len:n '\000';
+  cap
+
+let insert_coalesced t blk =
+  let rec insert = function
+    | [] -> [ blk ]
+    | b :: rest when blk.addr < b.addr -> blk :: b :: rest
+    | b :: rest -> b :: insert rest
+  in
+  let rec coalesce = function
+    | a :: b :: rest when a.addr + a.size = b.addr ->
+      coalesce ({ addr = a.addr; size = a.size + b.size } :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  t.free_list <- coalesce (insert t.free_list)
+
+let free t cap =
+  let addr = Capability.base cap in
+  match Hashtbl.find_opt t.live addr with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Alloc.free: 0x%x is not a live allocation" addr)
+  | Some size ->
+    Hashtbl.remove t.live addr;
+    t.live_bytes <- t.live_bytes - size;
+    insert_coalesced t { addr; size }
+
+let live_bytes t = t.live_bytes
+let free_bytes t = List.fold_left (fun acc b -> acc + b.size) 0 t.free_list
+let allocations t = Hashtbl.length t.live

@@ -1,0 +1,30 @@
+(** Capability-returning allocator.
+
+    Carves bounded capabilities out of a region capability (a cVM heap,
+    a DPDK memory zone). Every allocation is aligned to the tag granule
+    so buffers can hold capabilities, and the returned capability is
+    bounds-narrowed to exactly the allocation — the property that turns
+    heap overflows into {!Fault.Capability_fault}s instead of silent
+    corruption. First-fit free list with coalescing. *)
+
+type t
+
+val create : region:Capability.t -> t
+(** [region] must be tagged, unsealed and granule-aligned. *)
+
+val malloc : t -> ?perms:Perms.t -> int -> Capability.t
+(** Allocate [n] bytes ([n > 0]); permissions default to the region's.
+    Requesting permissions beyond the region's is monotonic — they are
+    intersected away. @raise Out_of_memory when the region is full. *)
+
+val calloc : t -> ?perms:Perms.t -> Tagged_memory.t -> int -> Capability.t
+(** [malloc] + zero-fill. *)
+
+val free : t -> Capability.t -> unit
+(** @raise Invalid_argument on a capability not minted by this
+    allocator (wrong base or double free). *)
+
+val live_bytes : t -> int
+val free_bytes : t -> int
+val allocations : t -> int
+(** Number of live allocations. *)

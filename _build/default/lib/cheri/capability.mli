@@ -1,0 +1,93 @@
+(** CHERI capability values.
+
+    A capability is a bounded, permissioned, tagged reference: it names
+    the region [\[base, base+length)], carries a dereference [cursor], a
+    permission vector and an optional seal. All derivation operations
+    are monotonic — bounds can only shrink and permissions can only be
+    removed — and any attempt to amplify raises
+    {!Fault.Capability_fault} with [Monotonicity_violation], mirroring
+    how hardware would clear the tag.
+
+    In hybrid-mode CHERI (the paper's configuration), most code uses
+    integer pointers checked against the compartment's DDC; annotated
+    [__capability] pointers are first-class values of this type. *)
+
+type t = private {
+  tag : bool;  (** Validity: only tagged capabilities authorise access. *)
+  base : int;
+  length : int;
+  cursor : int;
+  perms : Perms.t;
+  sealed : Otype.t option;
+}
+
+val root : base:int -> length:int -> perms:Perms.t -> t
+(** Mint an original (tagged, unsealed) capability. Only the machine
+    boot path and tests should call this; everything else derives. *)
+
+val null : t
+(** Untagged, zero-length — the NULL capability. *)
+
+(** {1 Accessors} *)
+
+val base : t -> int
+val length : t -> int
+val cursor : t -> int
+val limit : t -> int
+(** [base + length]. *)
+
+val perms : t -> Perms.t
+val is_tagged : t -> bool
+val is_sealed : t -> bool
+val otype : t -> Otype.t option
+
+(** {1 Monotonic derivation}
+
+    All of these require a tagged, unsealed source capability and raise
+    {!Fault.Capability_fault} otherwise. *)
+
+val set_bounds : t -> base:int -> length:int -> t
+(** Narrow to [\[base, base+length)]; must lie within the source bounds.
+    The cursor is moved to the new base. *)
+
+val and_perms : t -> Perms.t -> t
+(** Intersect permissions (requesting a superset is not a fault — extra
+    bits are silently dropped, as the hardware instruction does). *)
+
+val set_cursor : t -> int -> t
+(** Move the cursor. Way-out-of-range cursors (beyond the representable
+    window around the bounds) clear the tag, modelling compressed-
+    capability representability. *)
+
+val incr_cursor : t -> int -> t
+
+val derive : t -> offset:int -> length:int -> perms:Perms.t -> t
+(** [set_bounds] at [base + offset] composed with [and_perms] — the
+    common "carve a buffer out of a region" operation. *)
+
+(** {1 Sealing} *)
+
+val seal : sealer:t -> t -> t
+(** Seal with otype = [cursor sealer]. [sealer] needs the seal
+    permission and its cursor in bounds. A sealed capability is immutable
+    and non-dereferenceable until unsealed. *)
+
+val unseal : unsealer:t -> t -> t
+(** [unsealer] needs the unseal permission and its cursor equal to the
+    target's otype. *)
+
+(** {1 Checks} *)
+
+type access = Load | Store | Execute | Load_cap | Store_cap
+
+val check_access : t -> access -> addr:int -> len:int -> unit
+(** The full hardware check: tag set, not sealed, permission present,
+    [\[addr, addr+len)] within bounds. Raises {!Fault.Capability_fault}. *)
+
+val check_deref : t -> access -> len:int -> unit
+(** {!check_access} at the current cursor. *)
+
+val in_bounds : t -> addr:int -> len:int -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

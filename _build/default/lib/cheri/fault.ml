@@ -1,0 +1,34 @@
+type kind =
+  | Tag_violation
+  | Out_of_bounds
+  | Permission_violation
+  | Seal_violation
+  | Unseal_violation
+  | Monotonicity_violation
+  | Representability_violation
+
+type t = { kind : kind; address : int; detail : string }
+
+exception Capability_fault of t
+
+let raise_fault kind ~address ~detail =
+  raise (Capability_fault { kind; address; detail })
+
+let kind_to_string = function
+  | Tag_violation -> "CAP tag violation"
+  | Out_of_bounds -> "CAP out-of-bounds"
+  | Permission_violation -> "CAP permission violation"
+  | Seal_violation -> "CAP seal violation"
+  | Unseal_violation -> "CAP unseal violation"
+  | Monotonicity_violation -> "CAP monotonicity violation"
+  | Representability_violation -> "CAP representability violation"
+
+let pp fmt f =
+  Format.fprintf fmt "%s at 0x%x (%s)" (kind_to_string f.kind) f.address f.detail
+
+let to_string f = Format.asprintf "%a" pp f
+
+let () =
+  Printexc.register_printer (function
+    | Capability_fault f -> Some ("Capability_fault: " ^ to_string f)
+    | _ -> None)

@@ -1,0 +1,72 @@
+type t = {
+  load : bool;
+  store : bool;
+  execute : bool;
+  load_cap : bool;
+  store_cap : bool;
+  seal : bool;
+  unseal : bool;
+  global : bool;
+}
+
+let all =
+  {
+    load = true;
+    store = true;
+    execute = true;
+    load_cap = true;
+    store_cap = true;
+    seal = true;
+    unseal = true;
+    global = true;
+  }
+
+let none =
+  {
+    load = false;
+    store = false;
+    execute = false;
+    load_cap = false;
+    store_cap = false;
+    seal = false;
+    unseal = false;
+    global = false;
+  }
+
+let read_only = { none with load = true; load_cap = true; global = true }
+
+let read_write =
+  { none with load = true; store = true; load_cap = true; store_cap = true; global = true }
+
+let execute_only = { none with execute = true; load = true; global = true }
+let data = { none with load = true; store = true; global = true }
+
+let intersect a b =
+  {
+    load = a.load && b.load;
+    store = a.store && b.store;
+    execute = a.execute && b.execute;
+    load_cap = a.load_cap && b.load_cap;
+    store_cap = a.store_cap && b.store_cap;
+    seal = a.seal && b.seal;
+    unseal = a.unseal && b.unseal;
+    global = a.global && b.global;
+  }
+
+let subset a b =
+  (not a.load || b.load)
+  && ((not a.store) || b.store)
+  && ((not a.execute) || b.execute)
+  && ((not a.load_cap) || b.load_cap)
+  && ((not a.store_cap) || b.store_cap)
+  && ((not a.seal) || b.seal)
+  && ((not a.unseal) || b.unseal)
+  && ((not a.global) || b.global)
+
+let equal a b = a = b
+
+let pp fmt p =
+  let c b ch = if b then ch else '-' in
+  Format.fprintf fmt "%c%c%c%c%c%c%c%c" (c p.load 'r') (c p.store 'w')
+    (c p.execute 'x') (c p.load_cap 'R') (c p.store_cap 'W') (c p.seal 's')
+    (c p.unseal 'u') (c p.global 'G')

@@ -1,0 +1,39 @@
+(** Capability permission bits.
+
+    A subset of the CHERI ISA permission vector sufficient for the
+    network-stack use case: data load/store, instruction fetch,
+    capability load/store, and the seal/unseal authority used for
+    compartment entry points. Permissions only ever shrink under
+    derivation ({!intersect}), which is what gives CHERI its
+    monotonicity property. *)
+
+type t = {
+  load : bool;
+  store : bool;
+  execute : bool;
+  load_cap : bool;  (** May read capabilities (with tags) from memory. *)
+  store_cap : bool;  (** May write capabilities (with tags) to memory. *)
+  seal : bool;  (** May seal other capabilities with this otype. *)
+  unseal : bool;  (** May unseal capabilities sealed with this otype. *)
+  global : bool;  (** May be shared across compartments. *)
+}
+
+val all : t
+val none : t
+val read_only : t
+val read_write : t
+(** Data + capability load/store, global. *)
+
+val execute_only : t
+
+val data : t
+(** Plain data load/store, no capability transfer — the shape handed to
+    untrusted buffers. *)
+
+val intersect : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true when every right in [a] is also in [b]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Compact "rwxRWsuG" rendering, dashes for missing rights. *)

@@ -1,0 +1,150 @@
+type t = {
+  data : bytes;
+  tags : Bytes.t;  (* one byte per granule: 0 or 1 *)
+  caps : (int, Capability.t) Hashtbl.t;  (* granule-aligned address -> cap *)
+}
+
+let granule = 16
+
+let create ~size =
+  if size <= 0 then invalid_arg "Tagged_memory.create: size must be positive";
+  {
+    data = Bytes.make size '\000';
+    tags = Bytes.make ((size / granule) + 1) '\000';
+    caps = Hashtbl.create 256;
+  }
+
+let size t = Bytes.length t.data
+
+let phys_check t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    Fault.raise_fault Out_of_bounds ~address:addr
+      ~detail:(Printf.sprintf "physical access [0x%x,+0x%x) beyond memory" addr len)
+
+let clear_tags t ~addr ~len =
+  if len > 0 then begin
+    let first = addr / granule and last = (addr + len - 1) / granule in
+    for g = first to last do
+      if Bytes.get t.tags g <> '\000' then begin
+        Bytes.set t.tags g '\000';
+        Hashtbl.remove t.caps (g * granule)
+      end
+    done
+  end
+
+let load_bytes t ~cap ~addr ~len =
+  Capability.check_access cap Load ~addr ~len;
+  phys_check t ~addr ~len;
+  Bytes.sub t.data addr len
+
+let store_bytes t ~cap ~addr b =
+  let len = Bytes.length b in
+  Capability.check_access cap Store ~addr ~len;
+  phys_check t ~addr ~len;
+  Bytes.blit b 0 t.data addr len;
+  clear_tags t ~addr ~len
+
+let blit_out t ~cap ~addr ~dst ~dst_off ~len =
+  Capability.check_access cap Load ~addr ~len;
+  phys_check t ~addr ~len;
+  Bytes.blit t.data addr dst dst_off len
+
+let blit_in t ~cap ~addr ~src ~src_off ~len =
+  Capability.check_access cap Store ~addr ~len;
+  phys_check t ~addr ~len;
+  Bytes.blit src src_off t.data addr len;
+  clear_tags t ~addr ~len
+
+let get_u8 t ~cap ~addr =
+  Capability.check_access cap Load ~addr ~len:1;
+  phys_check t ~addr ~len:1;
+  Char.code (Bytes.get t.data addr)
+
+let set_u8 t ~cap ~addr v =
+  Capability.check_access cap Store ~addr ~len:1;
+  phys_check t ~addr ~len:1;
+  Bytes.set t.data addr (Char.chr (v land 0xff));
+  clear_tags t ~addr ~len:1
+
+let get_u16_be t ~cap ~addr =
+  Capability.check_access cap Load ~addr ~len:2;
+  phys_check t ~addr ~len:2;
+  Char.code (Bytes.get t.data addr) lsl 8 lor Char.code (Bytes.get t.data (addr + 1))
+
+let set_u16_be t ~cap ~addr v =
+  Capability.check_access cap Store ~addr ~len:2;
+  phys_check t ~addr ~len:2;
+  Bytes.set t.data addr (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set t.data (addr + 1) (Char.chr (v land 0xff));
+  clear_tags t ~addr ~len:2
+
+let get_u32_be t ~cap ~addr =
+  Capability.check_access cap Load ~addr ~len:4;
+  phys_check t ~addr ~len:4;
+  let b i = Char.code (Bytes.get t.data (addr + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let set_u32_be t ~cap ~addr v =
+  Capability.check_access cap Store ~addr ~len:4;
+  phys_check t ~addr ~len:4;
+  Bytes.set t.data addr (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set t.data (addr + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set t.data (addr + 3) (Char.chr (v land 0xff));
+  clear_tags t ~addr ~len:4
+
+let get_u64_le t ~cap ~addr =
+  Capability.check_access cap Load ~addr ~len:8;
+  phys_check t ~addr ~len:8;
+  Bytes.get_int64_le t.data addr
+
+let set_u64_le t ~cap ~addr v =
+  Capability.check_access cap Store ~addr ~len:8;
+  phys_check t ~addr ~len:8;
+  Bytes.set_int64_le t.data addr v;
+  clear_tags t ~addr ~len:8
+
+let fill t ~cap ~addr ~len c =
+  Capability.check_access cap Store ~addr ~len;
+  phys_check t ~addr ~len;
+  Bytes.fill t.data addr len c;
+  clear_tags t ~addr ~len
+
+let aligned addr = addr mod granule = 0
+
+let store_cap t ~cap ~addr stored =
+  Capability.check_access cap Store_cap ~addr ~len:granule;
+  phys_check t ~addr ~len:granule;
+  if not (aligned addr) then
+    Fault.raise_fault Out_of_bounds ~address:addr
+      ~detail:"capability store must be 16-byte aligned";
+  if Capability.is_tagged stored && not (Capability.perms stored).Perms.global then
+    Fault.raise_fault Permission_violation ~address:addr
+      ~detail:"store of a local (non-global) capability to memory";
+  Hashtbl.replace t.caps addr stored;
+  Bytes.set t.tags (addr / granule) (if Capability.is_tagged stored then '\001' else '\000')
+
+let load_cap t ~cap ~addr =
+  Capability.check_access cap Load_cap ~addr ~len:granule;
+  phys_check t ~addr ~len:granule;
+  if not (aligned addr) then
+    Fault.raise_fault Out_of_bounds ~address:addr
+      ~detail:"capability load must be 16-byte aligned";
+  match Hashtbl.find_opt t.caps addr with
+  | None -> Capability.null
+  | Some c ->
+    if Bytes.get t.tags (addr / granule) = '\001' then c
+    else (* tag cleared by an intervening data write *) Capability.null
+
+let tag_at t ~addr =
+  phys_check t ~addr ~len:1;
+  Bytes.get t.tags (addr / granule) = '\001'
+
+let unchecked_blit_out t ~addr ~dst ~dst_off ~len =
+  phys_check t ~addr ~len;
+  Bytes.blit t.data addr dst dst_off len
+
+let unchecked_blit_in t ~addr ~src ~src_off ~len =
+  phys_check t ~addr ~len;
+  Bytes.blit src src_off t.data addr len;
+  clear_tags t ~addr ~len

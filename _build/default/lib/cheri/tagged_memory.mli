@@ -1,0 +1,65 @@
+(** The single physical address space with capability tags.
+
+    All compartments, the Intravisor, DPDK memory zones and the NIC DMA
+    engine address the same flat byte array — exactly the single-
+    address-space setting the paper targets. Every access is authorised
+    by a capability and checked by {!Capability.check_access}.
+
+    Capabilities stored to memory occupy one 16-byte granule and set
+    that granule's tag bit; any raw byte write that touches a tagged
+    granule clears its tag, so capabilities cannot be forged by writing
+    their bit pattern. *)
+
+type t
+
+val granule : int
+(** Tag granularity in bytes (16, a 128-bit Morello capability). *)
+
+val create : size:int -> t
+val size : t -> int
+
+(** {1 Data accesses}
+
+    [addr] is absolute; the capability's cursor is not consulted, only
+    its bounds/permissions — this matches hybrid-mode accesses checked
+    against DDC. All raise {!Fault.Capability_fault} on check failure. *)
+
+val load_bytes : t -> cap:Capability.t -> addr:int -> len:int -> bytes
+val store_bytes : t -> cap:Capability.t -> addr:int -> bytes -> unit
+
+val blit_out : t -> cap:Capability.t -> addr:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val blit_in : t -> cap:Capability.t -> addr:int -> src:bytes -> src_off:int -> len:int -> unit
+
+val get_u8 : t -> cap:Capability.t -> addr:int -> int
+val set_u8 : t -> cap:Capability.t -> addr:int -> int -> unit
+val get_u16_be : t -> cap:Capability.t -> addr:int -> int
+val set_u16_be : t -> cap:Capability.t -> addr:int -> int -> unit
+val get_u32_be : t -> cap:Capability.t -> addr:int -> int
+val set_u32_be : t -> cap:Capability.t -> addr:int -> int -> unit
+val get_u64_le : t -> cap:Capability.t -> addr:int -> int64
+val set_u64_le : t -> cap:Capability.t -> addr:int -> int64 -> unit
+
+val fill : t -> cap:Capability.t -> addr:int -> len:int -> char -> unit
+
+(** {1 Capability accesses} *)
+
+val store_cap : t -> cap:Capability.t -> addr:int -> Capability.t -> unit
+(** Requires the store_cap permission and 16-byte alignment; tags the
+    granule. Storing a local (non-global) capability is refused with a
+    permission fault, the classic CHERI confinement rule. *)
+
+val load_cap : t -> cap:Capability.t -> addr:int -> Capability.t
+(** Requires load_cap permission and alignment. If the granule tag was
+    cleared by an intervening byte write, the loaded capability comes
+    back untagged. *)
+
+val tag_at : t -> addr:int -> bool
+(** Is the granule containing [addr] tagged? For tests/diagnostics. *)
+
+val unchecked_blit_out : t -> addr:int -> dst:bytes -> dst_off:int -> len:int -> unit
+(** Physical access without a capability — reserved for the DMA engine,
+    which the paper's threat model trusts (the NIC is configured by the
+    compartment owning the device capability). Bounds-checked against
+    the physical size only. *)
+
+val unchecked_blit_in : t -> addr:int -> src:bytes -> src_off:int -> len:int -> unit

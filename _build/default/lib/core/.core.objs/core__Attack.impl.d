@@ -1,0 +1,1 @@
+lib/core/attack.ml: Bytes Capvm Char Cheri Dsim Format List Printf Scenarios String Topology

@@ -1,0 +1,1 @@
+lib/core/bandwidth.ml: Dsim Format List Scenarios

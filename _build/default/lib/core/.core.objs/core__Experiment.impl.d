@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Attack Bandwidth Capvm Dsim Format List Loc_table Measurement Printf Report Scenarios String

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Attack Bandwidth Dsim Loc_table Measurement

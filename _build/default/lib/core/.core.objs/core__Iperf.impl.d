@@ -1,0 +1,1 @@
+lib/core/iperf.ml: Cheri Ff_api List Netstack

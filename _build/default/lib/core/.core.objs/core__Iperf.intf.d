@@ -1,0 +1,1 @@
+lib/core/iperf.mli: Cheri Netstack

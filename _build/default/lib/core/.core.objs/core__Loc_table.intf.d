@@ -1,0 +1,1 @@
+lib/core/loc_table.mli: Format

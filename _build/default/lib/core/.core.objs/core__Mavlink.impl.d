@@ -1,0 +1,1 @@
+lib/core/mavlink.ml: Bytes Char Cheri Format Printf

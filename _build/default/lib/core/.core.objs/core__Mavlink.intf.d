@@ -1,0 +1,1 @@
+lib/core/mavlink.mli: Cheri Format

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Capvm Dsim Format Int64 Netstack Scenarios Stdlib Topology

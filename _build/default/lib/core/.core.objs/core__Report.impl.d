@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Bytes Dsim Float List Printf String

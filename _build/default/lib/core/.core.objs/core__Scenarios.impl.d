@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Bytes Capvm Dsim Int64 Iperf List Netstack Printf Topology

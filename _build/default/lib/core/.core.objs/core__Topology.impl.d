@@ -1,0 +1,1 @@
+lib/core/topology.ml: Capvm Dpdk Dsim Fun Hashtbl List Netstack Nic Printf

@@ -1,0 +1,1 @@
+lib/core/topology.mli: Capvm Cheri Dpdk Dsim Netstack Nic

@@ -1,0 +1,97 @@
+(** The paper's system configurations (Section III).
+
+    - {b Baseline}: no CHERI; MMU-isolated processes. Two processes
+      (one full stack per port) for the dual-port comparison, or a
+      single process for the Scenario 2 comparison.
+    - {b Scenario 1}: the full stack (iperf + F-Stack + DPDK) replicated
+      into two cVMs, one Ethernet port each. Trampolines appear only on
+      libc syscalls, so the data path is identical to Baseline.
+    - {b Scenario 2}: F-Stack + DPDK in cVM1; application(s) in cVM2
+      (and cVM3 when contended). Every ff_* call crosses into cVM1 and
+      serialises on the shared umtx-backed mutex with the main loop.
+    - {b Scenario 3} (paper future work, implemented as an ablation):
+      app, F-Stack and DPDK in three cVMs — each API call and each loop
+      iteration pays an extra trampoline round trip.
+
+    Each builder wires DUT and load-generator peer, starts every loop,
+    and returns byte-counting flows for the bandwidth harness. *)
+
+type direction =
+  | Dut_receives  (** iperf "server mode" rows of Table II. *)
+  | Dut_sends  (** "client mode" rows. *)
+
+type flow = {
+  label : string;
+  take_bytes : unit -> int;
+      (** Application-level bytes moved on the DUT side since last call. *)
+}
+
+type built = {
+  engine : Dsim.Engine.t;
+  dut : Topology.node;
+  peer : Topology.node;
+  flows : flow list;
+  mutex : Capvm.Umtx.t option;  (** The Scenario 2 mutex, if any. *)
+  stop : unit -> unit;
+}
+
+val app_buffer_size : int
+(** iperf's default 128 KiB write/read chunk. *)
+
+val build_dual_port :
+  ?cheri:bool -> ?seed:int64 -> direction:direction -> unit -> built
+(** Baseline-two-processes ([cheri:false]) or Scenario 1
+    ([cheri:true], default): one full stack per port, both ports busy.
+    Flows: "cVM1" (port 0) and "cVM2" (port 1). *)
+
+val build_single_baseline : ?seed:int64 -> direction:direction -> unit -> built
+(** Single process, single port (the Baseline row of the Scenario 2
+    table). Flow: "Baseline (cVM2)". *)
+
+val build_scenario2 :
+  ?seed:int64 ->
+  ?contended:bool ->
+  ?lock_policy:Capvm.Umtx.policy ->
+  ?app_interval:Dsim.Time.t ->
+  direction:direction ->
+  unit ->
+  built
+(** cVM1 = F-Stack+DPDK (mutex-guarded loop); cVM2 (+cVM3 when
+    [contended]) = iperf apps whose every step trampolines into cVM1
+    under the mutex. Flows: "cVM2" (and "cVM3"). *)
+
+val build_scenario3_split :
+  ?seed:int64 -> direction:direction -> unit -> built
+(** Ablation: DPDK split from F-Stack as well — one extra trampoline
+    round trip on each API call and each loop iteration. *)
+
+(** {1 Latency-measurement topology (Figs. 4-6)}
+
+    A single-port setup where the measured application on the DUT sends
+    to a sink server on the peer. [`Direct] serves both Baseline and
+    Scenario 1 (the data path is shared; the paths differ only in how
+    the measurement clock is read, which {!Measurement} models).
+    [`S2 contended] adds a background full-rate iperf client in cVM3. *)
+
+type measurement_topology = {
+  mt_built : built;
+  mt_ff : Netstack.Ff_api.t;  (** The DUT stack's API. *)
+  mt_stack : Netstack.Stack.t;
+  mt_app_cvm : Capvm.Cvm.t;  (** Where the measured app lives. *)
+  mt_stack_cvm : Capvm.Cvm.t;  (** cVM1 (stack + DPDK). *)
+  mt_sink_port : int;  (** Peer-side sink the measured fd connects to. *)
+}
+
+val build_measurement :
+  ?seed:int64 ->
+  mode:[ `Direct | `S2 of bool ] ->
+  unit ->
+  measurement_topology
+
+val build_udp_blast :
+  ?seed:int64 -> ?payload:int -> offered_mbit:float -> unit -> built
+(** Extension: a UDP datagram blast from the DUT at a fixed offered
+    rate, received and counted on the peer. Flows: "offered" (bytes the
+    app attempted) and "received" (bytes that made it through) — their
+    gap is the loss a protocol without flow control suffers once the
+    offered load exceeds the path capacity. *)

@@ -1,0 +1,1 @@
+lib/dpdk/eal.ml: Cheri Dsim Hashtbl

@@ -1,0 +1,1 @@
+lib/dpdk/eal.mli: Cheri Dsim

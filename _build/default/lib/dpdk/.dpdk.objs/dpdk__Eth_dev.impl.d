@@ -1,0 +1,1 @@
+lib/dpdk/eth_dev.ml: Hashtbl List Mbuf Nic

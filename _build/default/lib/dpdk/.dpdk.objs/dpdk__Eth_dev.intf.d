@@ -1,0 +1,1 @@
+lib/dpdk/eth_dev.mli: Eal Mbuf Nic

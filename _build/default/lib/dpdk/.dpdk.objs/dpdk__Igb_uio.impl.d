@@ -1,0 +1,1 @@
+lib/dpdk/igb_uio.ml: Cheri Nic

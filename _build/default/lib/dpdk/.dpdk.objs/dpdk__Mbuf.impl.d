@@ -1,0 +1,1 @@
+lib/dpdk/mbuf.ml: Bytes Cheri Eal Printf Queue

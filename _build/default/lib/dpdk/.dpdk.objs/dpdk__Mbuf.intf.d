@@ -1,0 +1,1 @@
+lib/dpdk/mbuf.mli: Cheri Eal

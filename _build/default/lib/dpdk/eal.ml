@@ -1,0 +1,22 @@
+type t = {
+  engine : Dsim.Engine.t;
+  mem : Cheri.Tagged_memory.t;
+  alloc : Cheri.Alloc.t;
+  zones : (string, Cheri.Capability.t) Hashtbl.t;
+}
+
+let create engine mem ~region =
+  { engine; mem; alloc = Cheri.Alloc.create ~region; zones = Hashtbl.create 16 }
+
+let engine t = t.engine
+let mem t = t.mem
+
+let memzone_reserve t ~name ~size =
+  if Hashtbl.mem t.zones name then
+    invalid_arg ("Eal.memzone_reserve: duplicate zone " ^ name);
+  let cap = Cheri.Alloc.malloc t.alloc size in
+  Hashtbl.replace t.zones name cap;
+  cap
+
+let memzone_lookup t ~name = Hashtbl.find_opt t.zones name
+let free_bytes t = Cheri.Alloc.free_bytes t.alloc

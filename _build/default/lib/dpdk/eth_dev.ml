@@ -1,0 +1,78 @@
+type t = {
+  port : Nic.Igb.port;
+  rx_pool : Mbuf.pool;
+  in_flight : (int, Mbuf.t) Hashtbl.t;  (* posted addr -> owning mbuf *)
+}
+
+let attach _eal port ~rx_pool = { port; rx_pool; in_flight = Hashtbl.create 512 }
+
+let port t = t.port
+let rx_pool t = t.rx_pool
+
+let post_rx t m =
+  (* The device writes at the mbuf's data address, leaving the headroom
+     available for (de)encapsulation by the stack. *)
+  let addr = Mbuf.data_addr m in
+  let room = Mbuf.tailroom m in
+  if Nic.Igb.rx_refill t.port ~addr ~len:room then begin
+    Hashtbl.replace t.in_flight addr m;
+    true
+  end
+  else begin
+    Mbuf.free m;
+    false
+  end
+
+let restock t =
+  let rec go () =
+    if Nic.Igb.rx_free_slots t.port > 0 then
+      match Mbuf.alloc t.rx_pool with
+      | None -> ()
+      | Some m -> if post_rx t m then go ()
+  in
+  go ()
+
+let start t = restock t
+
+let reap t =
+  List.iter
+    (fun addr ->
+      match Hashtbl.find_opt t.in_flight addr with
+      | Some m ->
+        Hashtbl.remove t.in_flight addr;
+        Mbuf.free m
+      | None -> ())
+    (Nic.Igb.tx_reap t.port ~max:max_int)
+
+let rx_burst t ~max =
+  reap t;
+  let completions = Nic.Igb.rx_burst t.port ~max in
+  let take (addr, pkt_len) =
+    match Hashtbl.find_opt t.in_flight addr with
+    | None -> None
+    | Some m ->
+      Hashtbl.remove t.in_flight addr;
+      (* Geometry: the device filled [pkt_len] bytes at the data
+         address; reflect that in the mbuf. *)
+      ignore (Mbuf.append m pkt_len);
+      Some m
+  in
+  let mbufs = List.filter_map take completions in
+  restock t;
+  mbufs
+
+let tx_burst t mbufs =
+  reap t;
+  let rec go = function
+    | [] -> []
+    | m :: rest ->
+      let addr = Mbuf.data_addr m in
+      if Nic.Igb.tx_enqueue t.port ~addr ~len:(Mbuf.data_len m) then begin
+        Hashtbl.replace t.in_flight addr m;
+        go rest
+      end
+      else m :: rest
+  in
+  go mbufs
+
+let tx_backlog t = Nic.Igb.tx_in_flight t.port

@@ -1,0 +1,18 @@
+type binding = { port_index : int; window_base : int; window_len : int }
+
+let bind port ~dma_window =
+  let p = Cheri.Capability.perms dma_window in
+  if not (p.Cheri.Perms.load && p.Cheri.Perms.store) then
+    invalid_arg "Igb_uio.bind: DMA window needs load and store rights";
+  (* Drop every right beyond data load/store — in particular the
+     capability load/store rights, so DMA can never exfiltrate or forge
+     tagged capabilities. *)
+  let narrowed = Cheri.Capability.and_perms dma_window Cheri.Perms.data in
+  Nic.Igb.set_dma_cap port narrowed;
+  {
+    port_index = Nic.Igb.port_index port;
+    window_base = Cheri.Capability.base narrowed;
+    window_len = Cheri.Capability.length narrowed;
+  }
+
+let unbind port = Nic.Igb.set_dma_cap port Cheri.Capability.null

@@ -1,0 +1,21 @@
+(** Kernel-detach shim (igb_uio / vfio equivalent).
+
+    The paper implemented "the module that detaches the NIC from
+    kernel-space and attaches it to user-space, ensuring that the memory
+    allocations it requests are performed with the correct permission
+    flags". Here that means: take the user-space DMA window capability,
+    strip it down to plain data load/store (a NIC must never move tagged
+    capabilities), and install it as the port's bus-master capability. *)
+
+type binding = {
+  port_index : int;
+  window_base : int;
+  window_len : int;
+}
+
+val bind : Nic.Igb.port -> dma_window:Cheri.Capability.t -> binding
+(** @raise Invalid_argument if the window lacks load or store rights
+    (the device needs both directions). *)
+
+val unbind : Nic.Igb.port -> unit
+(** Detach: installs a null capability; any further DMA faults. *)

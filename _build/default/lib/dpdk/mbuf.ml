@@ -1,0 +1,118 @@
+type pool = {
+  name : string;
+  mem : Cheri.Tagged_memory.t;
+  free_list : t Queue.t;
+  capacity : int;
+}
+
+and t = {
+  pool : pool;
+  bcap : Cheri.Capability.t;
+  buf_addr : int;
+  buf_len : int;
+  default_headroom : int;
+  mutable data_off : int;
+  mutable data_len : int;
+  mutable in_use : bool;
+}
+
+let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
+  if n <= 0 || buf_len <= 0 then invalid_arg "Mbuf.pool_create: bad geometry";
+  if headroom >= buf_len then invalid_arg "Mbuf.pool_create: headroom >= buf_len";
+  let zone = Eal.memzone_reserve eal ~name:("mbuf-" ^ name) ~size:(n * buf_len) in
+  let mem = Eal.mem eal in
+  let pool =
+    { name; mem; free_list = Queue.create (); capacity = n }
+  in
+  for i = 0 to n - 1 do
+    let off = i * buf_len in
+    let bcap =
+      Cheri.Capability.derive zone ~offset:off ~length:buf_len
+        ~perms:Cheri.Perms.data
+    in
+    Queue.push
+      {
+        pool;
+        bcap;
+        buf_addr = Cheri.Capability.base bcap;
+        buf_len;
+        default_headroom = headroom;
+        data_off = headroom;
+        data_len = 0;
+        in_use = false;
+      }
+      pool.free_list
+  done;
+  pool
+
+let pool_name p = p.name
+let available p = Queue.length p.free_list
+let capacity p = p.capacity
+
+let reset m =
+  m.data_off <- m.default_headroom;
+  m.data_len <- 0
+
+let alloc p =
+  if Queue.is_empty p.free_list then None
+  else begin
+    let m = Queue.pop p.free_list in
+    m.in_use <- true;
+    reset m;
+    Some m
+  end
+
+let free m =
+  if not m.in_use then
+    invalid_arg
+      (Printf.sprintf "Mbuf.free: double free of buffer 0x%x" m.buf_addr);
+  m.in_use <- false;
+  Queue.push m m.pool.free_list
+
+let buf_addr m = m.buf_addr
+let buf_len m = m.buf_len
+let data_addr m = m.buf_addr + m.data_off
+let data_len m = m.data_len
+let headroom m = m.data_off
+let tailroom m = m.buf_len - m.data_off - m.data_len
+let cap m = m.bcap
+
+let append m n =
+  if n < 0 || n > tailroom m then
+    invalid_arg (Printf.sprintf "Mbuf.append: %d exceeds tailroom %d" n (tailroom m));
+  let addr = data_addr m + m.data_len in
+  m.data_len <- m.data_len + n;
+  addr
+
+let prepend m n =
+  if n < 0 || n > m.data_off then
+    invalid_arg (Printf.sprintf "Mbuf.prepend: %d exceeds headroom %d" n m.data_off);
+  m.data_off <- m.data_off - n;
+  m.data_len <- m.data_len + n;
+  data_addr m
+
+let trim m n =
+  if n < 0 || n > m.data_len then invalid_arg "Mbuf.trim: beyond data length";
+  m.data_len <- m.data_len - n
+
+let adj m n =
+  if n < 0 || n > m.data_len then invalid_arg "Mbuf.adj: beyond data length";
+  m.data_off <- m.data_off + n;
+  m.data_len <- m.data_len - n
+
+let write mem m ~off b =
+  let len = Bytes.length b in
+  if off < 0 || off + len > m.data_len then
+    invalid_arg "Mbuf.write: outside data region";
+  Cheri.Tagged_memory.blit_in mem ~cap:m.bcap ~addr:(data_addr m + off) ~src:b
+    ~src_off:0 ~len
+
+let read mem m ~off ~len =
+  if off < 0 || len < 0 || off + len > m.data_len then
+    invalid_arg "Mbuf.read: outside data region";
+  let dst = Bytes.create len in
+  Cheri.Tagged_memory.blit_out mem ~cap:m.bcap ~addr:(data_addr m + off) ~dst
+    ~dst_off:0 ~len;
+  dst
+
+let contents mem m = read mem m ~off:0 ~len:m.data_len

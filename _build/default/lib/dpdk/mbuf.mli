@@ -1,0 +1,69 @@
+(** Packet buffers and their pools (rte_mbuf / rte_mempool).
+
+    Each mbuf owns a fixed-size buffer in simulated memory and a
+    capability bounded to exactly that buffer; all payload access goes
+    through the capability, so an off-by-one on a packet is a
+    capability fault, not a heap overflow — the property the paper's
+    port of DPDK establishes by "ensuring that the memory allocations
+    ... are performed with the correct permission flags".
+
+    Geometry follows rte_pktmbuf: a headroom gap precedes the data so
+    headers can be prepended without copying. *)
+
+type pool
+type t
+
+val pool_create :
+  Eal.t -> name:string -> n:int -> buf_len:int -> ?headroom:int -> unit -> pool
+(** [n] buffers of [buf_len] bytes each (headroom included in
+    [buf_len]), backed by a fresh memzone. *)
+
+val pool_name : pool -> string
+val available : pool -> int
+val capacity : pool -> int
+
+val alloc : pool -> t option
+(** [None] when the pool is exhausted (the poll loops treat this as
+    back-pressure). Data offset starts at the headroom, length 0. *)
+
+val free : t -> unit
+(** Return to the owning pool. @raise Invalid_argument on double free. *)
+
+(** {1 Geometry} *)
+
+val buf_addr : t -> int
+val buf_len : t -> int
+val data_addr : t -> int
+(** Absolute address of the first payload byte. *)
+
+val data_len : t -> int
+val headroom : t -> int
+val tailroom : t -> int
+val cap : t -> Cheri.Capability.t
+(** The buffer-bounded capability (read-write over the whole buffer). *)
+
+val reset : t -> unit
+(** Restore the freshly-allocated geometry. *)
+
+val append : t -> int -> int
+(** Extend the data region at the tail by [n]; returns the absolute
+    address of the new region. @raise Invalid_argument beyond tailroom. *)
+
+val prepend : t -> int -> int
+(** Extend at the head into the headroom; returns the new data address. *)
+
+val trim : t -> int -> unit
+(** Shrink from the tail. *)
+
+val adj : t -> int -> unit
+(** Strip [n] bytes at the head (rte_pktmbuf_adj) — e.g. consume the
+    Ethernet header. *)
+
+(** {1 Payload access (capability-checked)} *)
+
+val write : Cheri.Tagged_memory.t -> t -> off:int -> bytes -> unit
+(** [off] is relative to {!data_addr}; must be within the data region. *)
+
+val read : Cheri.Tagged_memory.t -> t -> off:int -> len:int -> bytes
+val contents : Cheri.Tagged_memory.t -> t -> bytes
+(** The whole data region. *)

@@ -1,0 +1,1 @@
+lib/dsim/cost_model.ml:

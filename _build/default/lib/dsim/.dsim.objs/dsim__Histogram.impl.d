@@ -1,0 +1,1 @@
+lib/dsim/histogram.ml: Array Float List Printf Stats String

@@ -1,0 +1,1 @@
+lib/dsim/histogram.mli: Stats

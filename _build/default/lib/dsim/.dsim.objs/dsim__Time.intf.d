@@ -1,0 +1,1 @@
+lib/dsim/time.mli: Format

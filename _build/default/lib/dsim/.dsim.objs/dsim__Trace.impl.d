@@ -1,0 +1,1 @@
+lib/dsim/trace.ml: Format List String Time

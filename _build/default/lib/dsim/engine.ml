@@ -1,0 +1,84 @@
+type handle = {
+  at : Time.t;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type t = {
+  mutable clock : Time.t;
+  heap : handle Heap.t;
+  mutable seq : int;
+  mutable live : int;
+}
+
+let cmp_event a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { clock = Time.zero; heap = Heap.create ~cmp:cmp_event; seq = 0; live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at fn =
+  let at = Time.max at t.clock in
+  let h = { at; seq = t.seq; fn; cancelled = false; fired = false } in
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap h;
+  h
+
+let schedule t ~delay fn = schedule_at t ~at:(Time.add t.clock delay) fn
+
+let cancel h =
+  h.cancelled <- true
+
+let is_pending h = (not h.cancelled) && not h.fired
+
+(* [live] over-counts cancelled events still sitting in the heap; resync
+   lazily as they are popped. *)
+let pending_count t = t.live
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some h ->
+    t.live <- t.live - 1;
+    if h.cancelled then step t
+    else begin
+      t.clock <- h.at;
+      h.fired <- true;
+      h.fn ();
+      true
+    end
+
+let rec drop_cancelled t =
+  match Heap.peek t.heap with
+  | Some h when h.cancelled ->
+    ignore (Heap.pop t.heap);
+    t.live <- t.live - 1;
+    drop_cancelled t
+  | _ -> ()
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_ok () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let rec loop () =
+    drop_cancelled t;
+    match Heap.peek t.heap with
+    | None -> Option.iter (fun u -> if Time.(u > t.clock) then t.clock <- u) until
+    | Some h ->
+      let in_window = match until with None -> true | Some u -> Time.(h.at <= u) in
+      if in_window && budget_ok () then begin
+        if step t then incr fired;
+        loop ()
+      end
+      else if not in_window then
+        Option.iter (fun u -> if Time.(u > t.clock) then t.clock <- u) until
+  in
+  loop ()
+
+let run_until_quiet t = run t

@@ -1,0 +1,44 @@
+(** Discrete-event scheduler.
+
+    The engine owns the virtual clock and a pending-event heap. Events
+    are plain closures scheduled at an absolute or relative virtual
+    time; ties are broken by insertion order so the simulation is fully
+    deterministic. Components (NIC, TCP timers, cVM loops) interact only
+    by scheduling events on a shared engine. *)
+
+type t
+
+type handle
+(** A scheduled event, cancellable until it fires. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
+(** Schedule at an absolute time. Times in the past fire "now" (at the
+    current clock value), never before already-pending earlier events. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
+(** Schedule relative to {!now}. *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val pending_count : t -> int
+(** Number of live (not cancelled, not fired) events. *)
+
+val step : t -> bool
+(** Fire the next event, advancing the clock to it. Returns [false] when
+    no event is pending. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain events in time order. [until] stops (inclusive) once the next
+    event would fire strictly after it, leaving the clock at [until].
+    [max_events] guards against runaway self-rescheduling loops. *)
+
+val run_until_quiet : t -> unit
+(** Run until no events remain. *)

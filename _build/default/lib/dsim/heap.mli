@@ -1,0 +1,25 @@
+(** Array-based binary min-heap, polymorphic in the element type.
+
+    The ordering function is fixed at creation. Used by {!Engine} as the
+    pending-event queue; kept generic so tests can exercise it directly. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap; the heap itself is unchanged. For tests. *)

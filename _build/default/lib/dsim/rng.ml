@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  create ~seed:(mix64 seed)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value always fits OCaml's 63-bit int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1), as in the stdlib Random. *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t ~mu ~sigma =
+  let rec u () =
+    let x = float t 1.0 in
+    if x > 0. then x else u ()
+  in
+  let u1 = u () and u2 = float t 1.0 in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let exponential t ~mean =
+  let rec u () =
+    let x = float t 1.0 in
+    if x > 0. then x else u ()
+  in
+  -.mean *. log (u ())

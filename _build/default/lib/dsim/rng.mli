@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic element of the simulation (measurement jitter,
+    outlier injection, port-selection hashes) draws from an explicitly
+    threaded [Rng.t] so that runs are reproducible from a single seed. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** Derive an independent stream; used to give each simulated component
+    its own generator without sharing mutable state. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller normal deviate. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a gaussian — strictly positive, right-skewed; models latency
+    jitter. [mu]/[sigma] are the parameters of the underlying normal. *)
+
+val exponential : t -> mean:float -> float

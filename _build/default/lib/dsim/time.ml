@@ -1,0 +1,36 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+let of_float_ns f = if f <= 0. then 0L else Int64.of_float (Float.round f)
+let of_float_sec f = of_float_ns (f *. 1e9)
+
+let add = Int64.add
+let sub a b = if Int64.compare b a > 0 then 0L else Int64.sub a b
+let diff a b = if Int64.compare a b >= 0 then Int64.sub a b else Int64.sub b a
+let mul t n = Int64.mul t (Int64.of_int n)
+let compare = Int64.compare
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let equal = Int64.equal
+
+let to_ns t = t
+let to_float_ns = Int64.to_float
+let to_float_us t = Int64.to_float t /. 1e3
+let to_float_ms t = Int64.to_float t /. 1e6
+let to_float_sec t = Int64.to_float t /. 1e9
+
+let pp fmt t =
+  let f = to_float_ns t in
+  if Stdlib.( < ) f 1e3 then Format.fprintf fmt "%.0fns" f
+  else if Stdlib.( < ) f 1e6 then Format.fprintf fmt "%.2fus" (f /. 1e3)
+  else if Stdlib.( < ) f 1e9 then Format.fprintf fmt "%.2fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)

@@ -1,0 +1,48 @@
+(** Virtual time for the discrete-event simulator.
+
+    Time is an absolute count of nanoseconds since simulation start,
+    represented as a non-negative [int64]. All simulator components
+    (NIC serialization, cost model, TCP timers) share this unit. *)
+
+type t = int64
+
+val zero : t
+
+(** Constructors from the usual units. *)
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_float_ns : float -> t
+(** Round a float nanosecond count (e.g. a computed serialization delay)
+    to the nearest tick. Negative inputs clamp to {!zero}. *)
+
+val of_float_sec : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] clamps to {!zero} when [b > a]. *)
+
+val diff : t -> t -> t
+(** [diff a b] is [abs (a - b)]. *)
+
+val mul : t -> int -> t
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val equal : t -> t -> bool
+
+val to_ns : t -> int64
+val to_float_ns : t -> float
+val to_float_us : t -> float
+val to_float_ms : t -> float
+val to_float_sec : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)

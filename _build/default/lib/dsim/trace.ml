@@ -1,0 +1,43 @@
+type level = Debug | Info | Warn
+
+type event = { at : Time.t; level : level; component : string; message : string }
+
+type t = { mutable enabled : bool; mutable events : event list; mutable count : int; capacity : int }
+
+let create ?(enabled = false) ?(capacity = 100_000) () =
+  { enabled; events = []; count = 0; capacity }
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let record t ~at ?(level = Info) ~component message =
+  if t.enabled && t.count < t.capacity then begin
+    t.events <- { at; level; component; message } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let recordf t ~at ?(level = Info) ~component fmt =
+  if t.enabled && t.count < t.capacity then
+    Format.kasprintf (fun message -> record t ~at ~level ~component message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events t = List.rev t.events
+
+let find t ~component =
+  List.filter (fun e -> String.equal e.component component) (events t)
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let pp_level fmt = function
+  | Debug -> Format.pp_print_string fmt "debug"
+  | Info -> Format.pp_print_string fmt "info"
+  | Warn -> Format.pp_print_string fmt "warn"
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%a] %a %s: %s" Time.pp e.at pp_level e.level e.component
+    e.message
+
+let dump fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

@@ -1,0 +1,36 @@
+(** Lightweight in-simulation event tracing.
+
+    Components record tagged events against the virtual clock; tests
+    assert on the recorded sequence, and the examples print it. Tracing
+    is off by default so the 1M-iteration measurement loops pay nothing. *)
+
+type level = Debug | Info | Warn
+
+type event = { at : Time.t; level : level; component : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val record : t -> at:Time.t -> ?level:level -> component:string -> string -> unit
+(** No-op when disabled. *)
+
+val recordf :
+  t ->
+  at:Time.t ->
+  ?level:level ->
+  component:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted variant; the format arguments are not evaluated when
+    tracing is disabled. *)
+
+val events : t -> event list
+(** Chronological order. *)
+
+val find : t -> component:string -> event list
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> t -> unit

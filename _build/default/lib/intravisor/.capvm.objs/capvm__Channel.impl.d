@@ -1,0 +1,1 @@
+lib/intravisor/channel.ml: Bytes Cheri Cvm Intravisor

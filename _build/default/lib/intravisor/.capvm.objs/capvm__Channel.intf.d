@@ -1,0 +1,1 @@
+lib/intravisor/channel.mli: Cheri Intravisor

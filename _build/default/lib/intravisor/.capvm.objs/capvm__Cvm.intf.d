@@ -1,0 +1,1 @@
+lib/intravisor/cvm.mli: Cheri Format

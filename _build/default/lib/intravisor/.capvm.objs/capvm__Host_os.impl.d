@@ -1,0 +1,1 @@
+lib/intravisor/host_os.ml: Dsim Syscall

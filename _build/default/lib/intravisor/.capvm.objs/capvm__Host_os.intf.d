@@ -1,0 +1,1 @@
+lib/intravisor/host_os.mli: Dsim Syscall

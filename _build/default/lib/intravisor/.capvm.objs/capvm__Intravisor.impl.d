@@ -1,0 +1,1 @@
+lib/intravisor/intravisor.ml: Cheri Cvm Dsim Host_os Syscall

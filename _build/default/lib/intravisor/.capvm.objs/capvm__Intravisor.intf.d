@@ -1,0 +1,1 @@
+lib/intravisor/intravisor.mli: Cheri Cvm Dsim Host_os Syscall

@@ -1,0 +1,1 @@
+lib/intravisor/musl_shim.ml: Cvm Intravisor String Syscall

@@ -1,0 +1,1 @@
+lib/intravisor/musl_shim.mli: Cvm Dsim Intravisor

@@ -1,0 +1,1 @@
+lib/intravisor/syscall.ml: Dsim

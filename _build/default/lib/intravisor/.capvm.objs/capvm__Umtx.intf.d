@@ -1,0 +1,1 @@
+lib/intravisor/umtx.mli: Dsim

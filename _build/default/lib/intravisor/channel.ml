@@ -1,0 +1,93 @@
+type t = {
+  chan_name : string;
+  mem : Cheri.Tagged_memory.t;
+  base : int;
+  cap_bytes : int;
+  mutable head : int;  (* index of the first unread byte *)
+  mutable len : int;
+  mutable sent : int;
+  mutable received : int;
+}
+
+type endpoint = { cap : Cheri.Capability.t; channel : t }
+
+let align_up n a = (n + a - 1) / a * a
+
+(* The Intravisor carves the ring from its own reserve: a dedicated cVM
+   region would also work, but the channel belongs to neither party. *)
+let create iv ~name ~capacity =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  let capacity = align_up capacity Cheri.Tagged_memory.granule in
+  let holder = Intravisor.create_cvm iv ~name:("chan-" ^ name) ~size:(capacity + 64) in
+  let region = Cvm.sub_region holder ~size:capacity in
+  let t =
+    {
+      chan_name = name;
+      mem = Intravisor.mem iv;
+      base = Cheri.Capability.base region;
+      cap_bytes = capacity;
+      head = 0;
+      len = 0;
+      sent = 0;
+      received = 0;
+    }
+  in
+  let write_view =
+    Cheri.Capability.and_perms region
+      { Cheri.Perms.none with Cheri.Perms.store = true; global = true }
+  in
+  let read_view =
+    Cheri.Capability.and_perms region
+      { Cheri.Perms.none with Cheri.Perms.load = true; global = true }
+  in
+  ({ cap = write_view; channel = t }, { cap = read_view; channel = t })
+
+let name t = t.chan_name
+let capacity t = t.cap_bytes
+let used t = t.len
+let free_space t = t.cap_bytes - t.len
+
+let send ep b =
+  let t = ep.channel in
+  let n = min (Bytes.length b) (free_space t) in
+  if n > 0 then begin
+    let tail = (t.head + t.len) mod t.cap_bytes in
+    let first = min n (t.cap_bytes - tail) in
+    (* Both blits go through the endpoint capability: a consumer-side
+       endpoint faults on the store permission here. *)
+    Cheri.Tagged_memory.blit_in t.mem ~cap:ep.cap ~addr:(t.base + tail) ~src:b
+      ~src_off:0 ~len:first;
+    if n > first then
+      Cheri.Tagged_memory.blit_in t.mem ~cap:ep.cap ~addr:t.base ~src:b
+        ~src_off:first ~len:(n - first);
+    t.len <- t.len + n;
+    t.sent <- t.sent + n
+  end
+  else if Bytes.length b > 0 then
+    (* Even a zero-byte effective send must hold the store right. *)
+    Cheri.Capability.check_access ep.cap Cheri.Capability.Store ~addr:t.base ~len:1;
+  n
+
+let recv ep ~max =
+  let t = ep.channel in
+  let n = min max t.len in
+  if n <= 0 then begin
+    if max > 0 then
+      Cheri.Capability.check_access ep.cap Cheri.Capability.Load ~addr:t.base ~len:1;
+    Bytes.empty
+  end
+  else begin
+    let out = Bytes.create n in
+    let first = min n (t.cap_bytes - t.head) in
+    Cheri.Tagged_memory.blit_out t.mem ~cap:ep.cap ~addr:(t.base + t.head)
+      ~dst:out ~dst_off:0 ~len:first;
+    if n > first then
+      Cheri.Tagged_memory.blit_out t.mem ~cap:ep.cap ~addr:t.base ~dst:out
+        ~dst_off:first ~len:(n - first);
+    t.head <- (t.head + n) mod t.cap_bytes;
+    t.len <- t.len - n;
+    t.received <- t.received + n;
+    out
+  end
+
+let peek_stats t = (t.sent, t.received)

@@ -1,0 +1,44 @@
+(** Capability channels: shared-memory rings between cVMs.
+
+    CAP-VMs communicate through memory shared by capability: the
+    Intravisor carves a buffer, then hands the producer a write-only
+    view and the consumer a read-only view of the *same* bytes. Neither
+    side can address the other's compartment, monotonicity prevents
+    either view from being widened, and data moves without copies
+    through the Intravisor — the mechanism Scenario 2's cVM1↔cVM2
+    interaction builds on (and that ORC generalises for library
+    sharing).
+
+    Single-producer/single-consumer byte ring. Indices live on the
+    OCaml side (modelling the head/tail cache-line pair); payload bytes
+    live in simulated tagged memory and cross the boundary only through
+    the endpoint capabilities. *)
+
+type t
+
+type endpoint = {
+  cap : Cheri.Capability.t;  (** The view: write-only or read-only. *)
+  channel : t;
+}
+
+val create :
+  Intravisor.t -> name:string -> capacity:int -> endpoint * endpoint
+(** [(producer, consumer)]. The buffer is carved from Intravisor-owned
+    memory; capacity is rounded up to the tag granule. *)
+
+val name : t -> string
+val capacity : t -> int
+val used : t -> int
+val free_space : t -> int
+
+val send : endpoint -> bytes -> int
+(** Write through the producer view; returns bytes accepted (short when
+    full). @raise Cheri.Fault.Capability_fault when called with a
+    consumer (read-only) endpoint — the permission check is real. *)
+
+val recv : endpoint -> max:int -> bytes
+(** Read and consume through the consumer view (empty bytes when the
+    ring is empty). Faults on a producer endpoint. *)
+
+val peek_stats : t -> int * int
+(** (total bytes sent, total bytes received). *)

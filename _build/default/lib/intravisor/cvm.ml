@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  id : int;
+  region : Cheri.Capability.t;
+  compartment : Cheri.Compartment.t;
+  heap : Cheri.Alloc.t;
+  entry_otype : Cheri.Otype.t;
+  sealed_entry : Cheri.Capability.t;
+  mutable trampolines : int;
+}
+
+let make ~name ~id ~region ~entry_otype ~sealed_entry =
+  let ddc = Cheri.Capability.and_perms region Cheri.Perms.read_write in
+  let pcc = Cheri.Capability.and_perms region Cheri.Perms.execute_only in
+  {
+    name;
+    id;
+    region;
+    compartment = Cheri.Compartment.make ~name ~id ~ddc ~pcc;
+    heap = Cheri.Alloc.create ~region:ddc;
+    entry_otype;
+    sealed_entry;
+    trampolines = 0;
+  }
+
+let name t = t.name
+let id t = t.id
+let region t = t.region
+let compartment t = t.compartment
+let entry_otype t = t.entry_otype
+let sealed_entry t = t.sealed_entry
+let malloc t ?perms n = Cheri.Alloc.malloc t.heap ?perms n
+let calloc t ?perms mem n = Cheri.Alloc.calloc t.heap ?perms mem n
+let free t cap = Cheri.Alloc.free t.heap cap
+let heap_live_bytes t = Cheri.Alloc.live_bytes t.heap
+let sub_region t ~size = Cheri.Alloc.malloc t.heap size
+let note_trampoline t = t.trampolines <- t.trampolines + 1
+let trampoline_calls t = t.trampolines
+let can_access t ~addr ~len ~write = Cheri.Compartment.can_access t.compartment ~addr ~len ~write
+
+let pp fmt t =
+  Format.fprintf fmt "cVM%d(%s) region=[0x%x,+0x%x) heap_live=%d tramp=%d" t.id
+    t.name
+    (Cheri.Capability.base t.region)
+    (Cheri.Capability.length t.region)
+    (heap_live_bytes t) t.trampolines

@@ -1,0 +1,45 @@
+(** A capability-VM: one isolated component in the single address space.
+
+    A cVM is a thread of the Intravisor confined to a memory region by
+    its DDC/PCC pair. It owns a heap allocator over that region (all
+    application buffers come from here, so they are in-bounds by
+    construction) and a sealed entry capability: the only way to
+    transfer control into the cVM is to unseal that entry through the
+    Intravisor's authority — the [blrs] sealed-branch of the paper. *)
+
+type t
+
+val make :
+  name:string ->
+  id:int ->
+  region:Cheri.Capability.t ->
+  entry_otype:Cheri.Otype.t ->
+  sealed_entry:Cheri.Capability.t ->
+  t
+
+val name : t -> string
+val id : t -> int
+val region : t -> Cheri.Capability.t
+val compartment : t -> Cheri.Compartment.t
+val entry_otype : t -> Cheri.Otype.t
+val sealed_entry : t -> Cheri.Capability.t
+
+val malloc : t -> ?perms:Cheri.Perms.t -> int -> Cheri.Capability.t
+(** Allocate from the cVM heap; the returned capability is bounded to
+    the allocation and confined to the cVM region. *)
+
+val calloc : t -> ?perms:Cheri.Perms.t -> Cheri.Tagged_memory.t -> int -> Cheri.Capability.t
+val free : t -> Cheri.Capability.t -> unit
+val heap_live_bytes : t -> int
+
+val sub_region : t -> size:int -> Cheri.Capability.t
+(** Carve a large sub-region (e.g. the DPDK EAL heap of a network cVM)
+    out of the cVM's memory. *)
+
+val note_trampoline : t -> unit
+val trampoline_calls : t -> int
+
+val can_access : t -> addr:int -> len:int -> write:bool -> bool
+(** Hybrid-mode check against the cVM's DDC. *)
+
+val pp : Format.formatter -> t -> unit

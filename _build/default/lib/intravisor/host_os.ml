@@ -1,0 +1,14 @@
+type t = {
+  engine : Dsim.Engine.t;
+  cost : Dsim.Cost_model.t;
+  mutable served : int;
+}
+
+let create engine ~cost = { engine; cost; served = 0 }
+let engine t = t.engine
+let cost_model t = t.cost
+let clock_monotonic_raw t = Dsim.Engine.now t.engine
+let syscall_body_ns t sc = Syscall.kernel_cost_ns t.cost sc
+let svc_entry_exit_ns t = t.cost.Dsim.Cost_model.mmu_syscall_extra_ns
+let syscalls_served t = t.served
+let count_syscall t _sc = t.served <- t.served + 1

@@ -1,0 +1,25 @@
+type t = { iv : Intravisor.t; cvm : Cvm.t; mutable calls : int }
+
+let create iv cvm = { iv; cvm; calls = 0 }
+let cvm t = t.cvm
+
+let invoke t sc =
+  t.calls <- t.calls + 1;
+  Intravisor.syscall t.iv ~from:t.cvm sc
+
+let clock_gettime t =
+  match invoke t Syscall.Clock_gettime with
+  | Intravisor.Vtime time, cost -> (time, cost)
+  | (Intravisor.Vint _ | Intravisor.Vunit), _ ->
+    invalid_arg "musl clock_gettime: kernel returned a non-time value"
+
+let getpid t =
+  match invoke t Syscall.Getpid with
+  | Intravisor.Vint pid, cost -> (pid, cost)
+  | (Intravisor.Vtime _ | Intravisor.Vunit), _ ->
+    invalid_arg "musl getpid: kernel returned a non-int value"
+
+let futex_wake t = snd (invoke t Syscall.Futex_wake)
+let futex_wait_cost t = snd (invoke t Syscall.Futex_wait)
+let write_console t s = snd (invoke t (Syscall.Write_console (String.length s)))
+let calls t = t.calls

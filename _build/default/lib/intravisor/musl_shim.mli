@@ -1,0 +1,25 @@
+(** The modified musl libc linked into every cVM.
+
+    The paper replaced musl's [SVC] instructions with trampoline calls
+    into the Intravisor; this shim is that replacement. Each call
+    returns the value plus the CPU nanoseconds the call path consumed
+    (trampolines + proxy + kernel), which is what the measurement
+    harness charges to the calling thread. *)
+
+type t
+
+val create : Intravisor.t -> Cvm.t -> t
+val cvm : t -> Cvm.t
+
+val clock_gettime : t -> Dsim.Time.t * float
+(** CLOCK_MONOTONIC_RAW through the trampoline path. The cost is the
+    reason Scenario 1's measured ff_write is ~125 ns above Baseline's:
+    both timestamps of a measurement pay the extra indirection. *)
+
+val getpid : t -> int * float
+val futex_wake : t -> float
+(** Returns the CPU cost; the actual wake semantics live in {!Umtx}. *)
+
+val futex_wait_cost : t -> float
+val write_console : t -> string -> float
+val calls : t -> int

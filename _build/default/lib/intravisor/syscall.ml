@@ -1,0 +1,32 @@
+type t =
+  | Clock_gettime
+  | Nanosleep of Dsim.Time.t
+  | Futex_wait
+  | Futex_wake
+  | Umtx_wait
+  | Umtx_wake
+  | Write_console of int
+  | Getpid
+
+let name = function
+  | Clock_gettime -> "clock_gettime"
+  | Nanosleep _ -> "nanosleep"
+  | Futex_wait -> "futex(WAIT)"
+  | Futex_wake -> "futex(WAKE)"
+  | Umtx_wait -> "_umtx_op(WAIT)"
+  | Umtx_wake -> "_umtx_op(WAKE)"
+  | Write_console _ -> "write"
+  | Getpid -> "getpid"
+
+let translate_musl = function
+  | Futex_wait -> Umtx_wait
+  | Futex_wake -> Umtx_wake
+  | other -> other
+
+let kernel_cost_ns (cm : Dsim.Cost_model.t) = function
+  | Clock_gettime -> cm.syscall_ns
+  | Nanosleep _ -> cm.syscall_ns
+  | Futex_wait | Umtx_wait -> cm.syscall_ns +. cm.umtx_wake_ns
+  | Futex_wake | Umtx_wake -> cm.umtx_wake_ns
+  | Write_console n -> cm.syscall_ns +. (0.2 *. float_of_int n)
+  | Getpid -> cm.syscall_ns *. 0.5

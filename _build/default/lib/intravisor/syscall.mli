@@ -1,0 +1,25 @@
+(** Host-OS syscalls reachable from a cVM.
+
+    cVMs have no direct [SVC] path: every call goes through a trampoline
+    into the Intravisor, which proxies it to CheriBSD — translating musl
+    conventions to CheriBSD ones where they differ (the paper's example:
+    musl thread synchronisation uses [futex], CheriBSD uses [_umtx_op]). *)
+
+type t =
+  | Clock_gettime  (** CLOCK_MONOTONIC_RAW, the paper's measurement clock. *)
+  | Nanosleep of Dsim.Time.t
+  | Futex_wait  (** musl name; proxied to [Umtx_wait]. *)
+  | Futex_wake
+  | Umtx_wait  (** CheriBSD native. *)
+  | Umtx_wake
+  | Write_console of int  (** [n] bytes to the console. *)
+  | Getpid
+
+val name : t -> string
+
+val translate_musl : t -> t
+(** The Intravisor proxy's musl→CheriBSD mapping (futex→umtx); native
+    calls pass through. *)
+
+val kernel_cost_ns : Dsim.Cost_model.t -> t -> float
+(** CPU cost of the syscall body inside the host kernel. *)

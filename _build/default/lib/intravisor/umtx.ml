@@ -1,0 +1,82 @@
+type policy = Barging | Fifo
+
+type waiter = { name : string; since : Dsim.Time.t; k : wait_ns:float -> unit }
+
+type t = {
+  engine : Dsim.Engine.t;
+  policy : policy;
+  uncontended_ns : float;
+  wake_ns : float;
+  mutable owner : string option;
+  mutable queue : waiter list;  (* head = next to run under Fifo *)
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable total_wait_ns : float;
+}
+
+let create engine ?(policy = Barging) ?(uncontended_ns = 75.) ?(wake_ns = 350.)
+    () =
+  {
+    engine;
+    policy;
+    uncontended_ns;
+    wake_ns;
+    owner = None;
+    queue = [];
+    acquisitions = 0;
+    contended = 0;
+    total_wait_ns = 0.;
+  }
+
+let policy t = t.policy
+let locked t = Option.is_some t.owner
+let holder t = t.owner
+let waiters t = List.length t.queue
+let acquisitions t = t.acquisitions
+let contended_acquisitions t = t.contended
+let total_wait_ns t = t.total_wait_ns
+
+let acquire t ~owner k =
+  match t.owner with
+  | None ->
+    t.owner <- Some owner;
+    t.acquisitions <- t.acquisitions + 1;
+    k ~wait_ns:0.
+  | Some _ ->
+    let w = { name = owner; since = Dsim.Engine.now t.engine; k } in
+    t.queue <-
+      (match t.policy with
+      | Barging -> w :: t.queue  (* most recent waiter barges in first *)
+      | Fifo -> t.queue @ [ w ])
+
+let try_acquire t ~owner =
+  match t.owner with
+  | None ->
+    t.owner <- Some owner;
+    t.acquisitions <- t.acquisitions + 1;
+    true
+  | Some _ -> false
+
+let release t =
+  match t.owner with
+  | None -> invalid_arg "Umtx.release: not held"
+  | Some _ ->
+    t.owner <- None;
+    (match t.queue with
+    | [] -> ()
+    | next :: rest ->
+      t.queue <- rest;
+      t.owner <- Some next.name;
+      t.acquisitions <- t.acquisitions + 1;
+      t.contended <- t.contended + 1;
+      (* The kernel wake costs [wake_ns] before the waiter resumes. *)
+      ignore
+        (Dsim.Engine.schedule t.engine
+           ~delay:(Dsim.Time.of_float_ns t.wake_ns)
+           (fun () ->
+             let waited =
+               Dsim.Time.to_float_ns
+                 (Dsim.Time.sub (Dsim.Engine.now t.engine) next.since)
+             in
+             t.total_wait_ns <- t.total_wait_ns +. waited;
+             next.k ~wait_ns:waited)))

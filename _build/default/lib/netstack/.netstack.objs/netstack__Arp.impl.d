@@ -1,0 +1,1 @@
+lib/netstack/arp.ml: Bytes Char Format Int32 Ipv4_addr Nic Printf

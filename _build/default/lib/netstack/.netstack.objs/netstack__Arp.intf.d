@@ -1,0 +1,1 @@
+lib/netstack/arp.mli: Format Ipv4_addr Nic

@@ -1,0 +1,1 @@
+lib/netstack/arp_cache.ml: Dsim Hashtbl Ipv4_addr List Nic Queue

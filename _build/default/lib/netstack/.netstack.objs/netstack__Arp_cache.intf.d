@@ -1,0 +1,1 @@
+lib/netstack/arp_cache.mli: Dsim Ipv4_addr Nic

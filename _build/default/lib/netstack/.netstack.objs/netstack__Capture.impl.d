@@ -1,0 +1,1 @@
+lib/netstack/capture.ml: Arp Bytes Dsim Ethernet Format Icmp Ipv4 Ipv4_addr List Printf String Tcp_wire Udp

@@ -1,0 +1,1 @@
+lib/netstack/epoll.ml: Array Errno Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/netstack/epoll.mli: Errno Format

@@ -1,0 +1,1 @@
+lib/netstack/errno.mli: Format

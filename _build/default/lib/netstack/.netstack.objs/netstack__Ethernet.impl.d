@@ -1,0 +1,1 @@
+lib/netstack/ethernet.ml: Bytes Char Format Nic Printf

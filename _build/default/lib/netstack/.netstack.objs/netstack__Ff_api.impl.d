@@ -1,0 +1,1 @@
+lib/netstack/ff_api.ml: Bytes Cheri Errno Stack

@@ -1,0 +1,1 @@
+lib/netstack/ff_api.mli: Cheri Epoll Errno Ipv4_addr Stack

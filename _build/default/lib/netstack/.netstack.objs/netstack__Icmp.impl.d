@@ -1,0 +1,1 @@
+lib/netstack/icmp.ml: Bytes Char Checksum Format

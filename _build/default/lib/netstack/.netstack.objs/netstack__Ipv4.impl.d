@@ -1,0 +1,1 @@
+lib/netstack/ipv4.ml: Bytes Char Checksum Format Int32 Ipv4_addr

@@ -1,0 +1,1 @@
+lib/netstack/ipv4.mli: Format Ipv4_addr

@@ -1,0 +1,1 @@
+lib/netstack/ipv4_addr.ml: Format Hashtbl Int32 Printf String

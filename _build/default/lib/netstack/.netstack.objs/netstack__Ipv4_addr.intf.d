@@ -1,0 +1,1 @@
+lib/netstack/ipv4_addr.mli: Format

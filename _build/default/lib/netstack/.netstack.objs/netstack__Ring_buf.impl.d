@@ -1,0 +1,1 @@
+lib/netstack/ring_buf.ml: Bytes

@@ -1,0 +1,1 @@
+lib/netstack/socket.ml: Epoll Errno Hashtbl Ipv4_addr List Queue Tcp_cb

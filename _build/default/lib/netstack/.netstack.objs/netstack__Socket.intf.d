@@ -1,0 +1,1 @@
+lib/netstack/socket.mli: Epoll Errno Ipv4_addr Queue Tcp_cb

@@ -1,0 +1,1 @@
+lib/netstack/stack.ml: Arp Arp_cache Bytes Capture Cheri Dpdk Dsim Epoll Errno Ethernet Hashtbl Icmp Ipv4 Ipv4_addr List Nic Queue Ring_buf Socket Tcp_cb Tcp_input Tcp_output Tcp_timer Tcp_wire Udp

@@ -1,0 +1,1 @@
+lib/netstack/stack.mli: Capture Cheri Dpdk Dsim Epoll Errno Ipv4_addr Nic Socket Tcp_cb

@@ -1,0 +1,1 @@
+lib/netstack/tcp_cb.ml: Bytes Dsim Format Int64 Ipv4_addr Ring_buf Tcp_seq Tcp_wire

@@ -1,0 +1,1 @@
+lib/netstack/tcp_cb.mli: Dsim Format Ipv4_addr Ring_buf Tcp_seq Tcp_wire

@@ -1,0 +1,1 @@
+lib/netstack/tcp_input.ml: Bytes Dsim Float List Ring_buf Tcp_cb Tcp_output Tcp_seq Tcp_wire

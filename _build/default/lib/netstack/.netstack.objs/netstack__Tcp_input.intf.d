@@ -1,0 +1,1 @@
+lib/netstack/tcp_input.mli: Tcp_cb Tcp_seq Tcp_wire

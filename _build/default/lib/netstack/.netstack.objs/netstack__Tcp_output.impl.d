@@ -1,0 +1,1 @@
+lib/netstack/tcp_output.ml: Bytes Dsim Ring_buf Tcp_cb Tcp_seq Tcp_wire

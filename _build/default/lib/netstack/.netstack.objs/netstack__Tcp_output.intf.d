@@ -1,0 +1,1 @@
+lib/netstack/tcp_output.mli: Tcp_cb Tcp_wire

@@ -1,0 +1,1 @@
+lib/netstack/tcp_seq.mli: Format

@@ -1,0 +1,1 @@
+lib/netstack/tcp_timer.ml: Dsim Ring_buf Tcp_cb Tcp_output Tcp_seq

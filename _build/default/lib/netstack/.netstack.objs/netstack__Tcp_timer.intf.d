@@ -1,0 +1,1 @@
+lib/netstack/tcp_timer.mli: Tcp_cb

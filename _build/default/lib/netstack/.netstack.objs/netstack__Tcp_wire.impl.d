@@ -1,0 +1,1 @@
+lib/netstack/tcp_wire.ml: Bytes Char Checksum Format Ipv4 List Tcp_seq

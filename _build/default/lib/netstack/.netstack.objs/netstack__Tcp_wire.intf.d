@@ -1,0 +1,1 @@
+lib/netstack/tcp_wire.mli: Format Ipv4_addr Tcp_seq

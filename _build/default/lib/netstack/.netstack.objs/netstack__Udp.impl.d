@@ -1,0 +1,1 @@
+lib/netstack/udp.ml: Bytes Char Checksum Ipv4

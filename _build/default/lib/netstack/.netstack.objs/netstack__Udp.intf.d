@@ -1,0 +1,1 @@
+lib/netstack/udp.mli: Ipv4_addr

@@ -1,0 +1,66 @@
+type entry = { mac : Nic.Mac_addr.t; expires : Dsim.Time.t }
+
+type t = {
+  entry_lifetime : Dsim.Time.t;
+  max_pending : int;
+  table : (Ipv4_addr.t, entry) Hashtbl.t;
+  pending : (Ipv4_addr.t, bytes Queue.t) Hashtbl.t;
+  last_request : (Ipv4_addr.t, Dsim.Time.t) Hashtbl.t;
+}
+
+let request_interval = Dsim.Time.ms 100
+
+let create ?(entry_lifetime = Dsim.Time.sec 60) ?(max_pending_per_ip = 16) () =
+  {
+    entry_lifetime;
+    max_pending = max_pending_per_ip;
+    table = Hashtbl.create 16;
+    pending = Hashtbl.create 8;
+    last_request = Hashtbl.create 8;
+  }
+
+let lookup t ~now ip =
+  match Hashtbl.find_opt t.table ip with
+  | None -> None
+  | Some e ->
+    if Dsim.Time.(now > e.expires) then begin
+      Hashtbl.remove t.table ip;
+      None
+    end
+    else Some e.mac
+
+let insert t ~now ip mac =
+  Hashtbl.replace t.table ip
+    { mac; expires = Dsim.Time.add now t.entry_lifetime }
+
+let enqueue_pending t ip pkt =
+  let q =
+    match Hashtbl.find_opt t.pending ip with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.pending ip q;
+      q
+  in
+  if Queue.length q >= t.max_pending then false
+  else begin
+    Queue.push pkt q;
+    true
+  end
+
+let take_pending t ip =
+  match Hashtbl.find_opt t.pending ip with
+  | None -> []
+  | Some q ->
+    Hashtbl.remove t.pending ip;
+    List.rev (Queue.fold (fun acc x -> x :: acc) [] q)
+
+let request_outstanding t ~now ip =
+  match Hashtbl.find_opt t.last_request ip with
+  | Some at when Dsim.Time.(Dsim.Time.diff now at < request_interval) -> true
+  | _ ->
+    Hashtbl.replace t.last_request ip now;
+    false
+
+let entries t =
+  Hashtbl.fold (fun ip e acc -> (ip, e.mac) :: acc) t.table []

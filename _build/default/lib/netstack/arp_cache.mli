@@ -1,0 +1,26 @@
+(** ARP neighbour cache with pending-packet queues.
+
+    While an IP is unresolved, outgoing packets queue here (bounded) and
+    flush on the reply. Entries age out after a configurable lifetime,
+    checked lazily on lookup. *)
+
+type t
+
+val create :
+  ?entry_lifetime:Dsim.Time.t -> ?max_pending_per_ip:int -> unit -> t
+
+val lookup : t -> now:Dsim.Time.t -> Ipv4_addr.t -> Nic.Mac_addr.t option
+val insert : t -> now:Dsim.Time.t -> Ipv4_addr.t -> Nic.Mac_addr.t -> unit
+
+val enqueue_pending : t -> Ipv4_addr.t -> bytes -> bool
+(** Queue an IP packet awaiting resolution; [false] (drop) when the
+    per-IP queue is full. *)
+
+val take_pending : t -> Ipv4_addr.t -> bytes list
+(** Drain the queue for a freshly resolved IP, oldest first. *)
+
+val request_outstanding : t -> now:Dsim.Time.t -> Ipv4_addr.t -> bool
+(** True if a request was sent recently (rate-limits re-requests);
+    marks one as sent when it returns false. *)
+
+val entries : t -> (Ipv4_addr.t * Nic.Mac_addr.t) list

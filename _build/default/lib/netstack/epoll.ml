@@ -1,0 +1,75 @@
+type events = int
+
+let epollin = 0x001
+let epollout = 0x004
+let epollerr = 0x008
+let epollhup = 0x010
+let has set flag = set land flag <> 0
+
+type t = {
+  interests : (int, events) Hashtbl.t;
+  mutable rotation : int;  (* fairness cursor for wait *)
+}
+
+let create () = { interests = Hashtbl.create 16; rotation = 0 }
+
+let ctl_add t ~fd ev =
+  if Hashtbl.mem t.interests fd then Error Errno.EINVAL
+  else begin
+    Hashtbl.replace t.interests fd ev;
+    Ok ()
+  end
+
+let ctl_mod t ~fd ev =
+  if not (Hashtbl.mem t.interests fd) then Error Errno.EINVAL
+  else begin
+    Hashtbl.replace t.interests fd ev;
+    Ok ()
+  end
+
+let ctl_del t ~fd =
+  if not (Hashtbl.mem t.interests fd) then Error Errno.EINVAL
+  else begin
+    Hashtbl.remove t.interests fd;
+    Ok ()
+  end
+
+let forget t ~fd = Hashtbl.remove t.interests fd
+let interest t ~fd = Hashtbl.find_opt t.interests fd
+
+let registered t =
+  Hashtbl.fold (fun fd ev acc -> (fd, ev) :: acc) t.interests []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let wait t ~readiness ~max =
+  let all = registered t in
+  let n = List.length all in
+  if n = 0 || max <= 0 then []
+  else begin
+    (* Rotate the scan start so a hot low-numbered fd cannot starve the
+       rest when [max] truncates the result. *)
+    let start = t.rotation mod n in
+    t.rotation <- t.rotation + 1;
+    let arr = Array.of_list all in
+    let out = ref [] and count = ref 0 in
+    for i = 0 to n - 1 do
+      if !count < max then begin
+        let fd, want = arr.((start + i) mod n) in
+        let ready = readiness fd in
+        let reported = ready land (want lor epollerr lor epollhup) in
+        if reported <> 0 then begin
+          out := (fd, reported) :: !out;
+          incr count
+        end
+      end
+    done;
+    List.rev !out
+  end
+
+let pp_events fmt ev =
+  let names =
+    List.filter_map
+      (fun (f, n) -> if has ev f then Some n else None)
+      [ (epollin, "IN"); (epollout, "OUT"); (epollerr, "ERR"); (epollhup, "HUP") ]
+  in
+  Format.pp_print_string fmt (String.concat "|" names)

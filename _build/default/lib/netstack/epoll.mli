@@ -1,0 +1,36 @@
+(** Level-triggered epoll, the readiness mechanism the paper moved
+    iperf3 onto ("we replaced the select function with the epoll
+    mechanism, which adapts better to F-Stack"). *)
+
+type events = int
+(** Bitmask. *)
+
+val epollin : events
+val epollout : events
+val epollerr : events
+val epollhup : events
+
+val has : events -> events -> bool
+(** [has set flag]. *)
+
+type t
+
+val create : unit -> t
+
+val ctl_add : t -> fd:int -> events -> (unit, Errno.t) result
+(** [Error EINVAL] if already registered. *)
+
+val ctl_mod : t -> fd:int -> events -> (unit, Errno.t) result
+val ctl_del : t -> fd:int -> (unit, Errno.t) result
+val forget : t -> fd:int -> unit
+(** Silent removal when a registered fd is closed. *)
+
+val interest : t -> fd:int -> events option
+val registered : t -> (int * events) list
+
+val wait : t -> readiness:(int -> events) -> max:int -> (int * events) list
+(** Level-triggered poll: for each registered fd, intersect its interest
+    set (plus the always-reported ERR/HUP) with [readiness fd]; report
+    up to [max] fds, round-robin-fair across calls. *)
+
+val pp_events : Format.formatter -> events -> unit

@@ -1,0 +1,25 @@
+(** POSIX-style error codes surfaced by the ff_* API.
+
+    Capability violations are deliberately *not* errnos: a bad buffer
+    capability raises {!Cheri.Fault.Capability_fault}, the hardware trap
+    of Fig. 3, and takes the compartment down. *)
+
+type t =
+  | EAGAIN
+  | EBADF
+  | EINVAL
+  | EMFILE
+  | EADDRINUSE
+  | ECONNREFUSED
+  | ECONNRESET
+  | ENOTCONN
+  | EISCONN
+  | EALREADY
+  | EINPROGRESS
+  | EPIPE
+  | EMSGSIZE
+  | EOPNOTSUPP
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,50 @@
+type ethertype = Ipv4 | Arp | Unknown of int
+
+type header = {
+  dst : Nic.Mac_addr.t;
+  src : Nic.Mac_addr.t;
+  ethertype : ethertype;
+}
+
+let header_len = 14
+
+let ethertype_to_int = function
+  | Ipv4 -> 0x0800
+  | Arp -> 0x0806
+  | Unknown v -> v
+
+let ethertype_of_int = function
+  | 0x0800 -> Ipv4
+  | 0x0806 -> Arp
+  | v -> Unknown v
+
+let build_into h buf =
+  Bytes.blit_string (Nic.Mac_addr.to_bytes h.dst) 0 buf 0 6;
+  Bytes.blit_string (Nic.Mac_addr.to_bytes h.src) 0 buf 6 6;
+  let et = ethertype_to_int h.ethertype in
+  Bytes.set buf 12 (Char.chr (et lsr 8));
+  Bytes.set buf 13 (Char.chr (et land 0xff))
+
+let build h ~payload =
+  let frame = Bytes.create (header_len + Bytes.length payload) in
+  build_into h frame;
+  Bytes.blit payload 0 frame header_len (Bytes.length payload);
+  frame
+
+let parse frame =
+  if Bytes.length frame < header_len then Error "ethernet: frame too short"
+  else begin
+    let dst = Nic.Mac_addr.of_bytes_exn (Bytes.sub_string frame 0 6) in
+    let src = Nic.Mac_addr.of_bytes_exn (Bytes.sub_string frame 6 6) in
+    let et = (Char.code (Bytes.get frame 12) lsl 8) lor Char.code (Bytes.get frame 13) in
+    Ok ({ dst; src; ethertype = ethertype_of_int et }, header_len)
+  end
+
+let pp_header fmt h =
+  let kind =
+    match h.ethertype with
+    | Ipv4 -> "ipv4"
+    | Arp -> "arp"
+    | Unknown v -> Printf.sprintf "0x%04x" v
+  in
+  Format.fprintf fmt "%a -> %a (%s)" Nic.Mac_addr.pp h.src Nic.Mac_addr.pp h.dst kind

@@ -1,0 +1,26 @@
+(** Ethernet II framing. *)
+
+type ethertype = Ipv4 | Arp | Unknown of int
+
+type header = {
+  dst : Nic.Mac_addr.t;
+  src : Nic.Mac_addr.t;
+  ethertype : ethertype;
+}
+
+val header_len : int
+(** 14 bytes. *)
+
+val ethertype_to_int : ethertype -> int
+val ethertype_of_int : int -> ethertype
+
+val build : header -> payload:bytes -> bytes
+(** Allocate and fill a full frame. *)
+
+val build_into : header -> bytes -> unit
+(** Write the 14-byte header at offset 0 of a pre-sized buffer. *)
+
+val parse : bytes -> (header * int, string) result
+(** Returns the header and the payload offset. *)
+
+val pp_header : Format.formatter -> header -> unit

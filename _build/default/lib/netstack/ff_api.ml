@@ -1,0 +1,71 @@
+type t = { stack : Stack.t; mem : Cheri.Tagged_memory.t }
+
+let attach stack mem = { stack; mem }
+let stack t = t.stack
+
+let ff_socket t = Stack.socket_stream t.stack
+let ff_bind t fd ~port = Stack.bind t.stack fd ~port
+let ff_listen t fd ~backlog = Stack.listen t.stack fd ~backlog
+let ff_accept t fd = Stack.accept t.stack fd
+let ff_connect t fd ~ip ~port = Stack.connect t.stack fd ~ip ~port
+
+let ff_write t fd ~buf ~nbytes =
+  if nbytes < 0 then Error Errno.EINVAL
+  else begin
+    (* The capability check happens before the stack sees anything: an
+       overlong [nbytes] traps here, it cannot leak adjacent memory
+       into the socket. *)
+    let addr = Cheri.Capability.cursor buf in
+    let staging = Bytes.create nbytes in
+    Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging ~dst_off:0
+      ~len:nbytes;
+    Stack.write t.stack fd ~buf:staging ~off:0 ~len:nbytes
+  end
+
+let ff_read t fd ~buf ~nbytes =
+  if nbytes < 0 then Error Errno.EINVAL
+  else begin
+    let addr = Cheri.Capability.cursor buf in
+    (* Probe the store right away so a rogue buffer faults even when no
+       data is pending. *)
+    Cheri.Capability.check_access buf Cheri.Capability.Store ~addr ~len:nbytes;
+    let staging = Bytes.create nbytes in
+    match Stack.read t.stack fd ~buf:staging ~off:0 ~len:nbytes with
+    | Error _ as e -> e
+    | Ok n ->
+      if n > 0 then
+        Cheri.Tagged_memory.blit_in t.mem ~cap:buf ~addr ~src:staging ~src_off:0
+          ~len:n;
+      Ok n
+  end
+
+let ff_close t fd = Stack.close t.stack fd
+let ff_epoll_create t = Stack.epoll_create t.stack
+let ff_epoll_ctl t ~epfd ~op ~fd events = Stack.epoll_ctl t.stack ~epfd ~op ~fd events
+let ff_epoll_wait t ~epfd ~max = Stack.epoll_wait t.stack ~epfd ~max
+
+let ff_sendto t fd ~ip ~port ~buf ~nbytes =
+  if nbytes < 0 then Error Errno.EINVAL
+  else begin
+    let addr = Cheri.Capability.cursor buf in
+    let staging = Bytes.create nbytes in
+    Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging ~dst_off:0
+      ~len:nbytes;
+    Stack.udp_sendto t.stack fd ~ip ~port ~buf:staging
+  end
+
+let ff_recvfrom t fd ~buf ~nbytes =
+  if nbytes < 0 then Error Errno.EINVAL
+  else begin
+    let addr = Cheri.Capability.cursor buf in
+    Cheri.Capability.check_access buf Cheri.Capability.Store ~addr ~len:nbytes;
+    match Stack.udp_recvfrom t.stack fd with
+    | Error _ as e -> e
+    | Ok None -> Ok None
+    | Ok (Some (src_ip, src_port, data)) ->
+      let n = min nbytes (Bytes.length data) in
+      if n > 0 then
+        Cheri.Tagged_memory.blit_in t.mem ~cap:buf ~addr ~src:data ~src_off:0
+          ~len:n;
+      Ok (Some (src_ip, src_port, n))
+  end

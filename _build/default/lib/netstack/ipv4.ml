@@ -1,0 +1,111 @@
+type protocol = Icmp | Tcp | Udp | Unknown_proto of int
+
+type header = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  protocol : protocol;
+  ttl : int;
+  ident : int;
+  total_len : int;
+}
+
+let header_len = 20
+
+let protocol_to_int = function
+  | Icmp -> 1
+  | Tcp -> 6
+  | Udp -> 17
+  | Unknown_proto v -> v
+
+let protocol_of_int = function
+  | 1 -> Icmp
+  | 6 -> Tcp
+  | 17 -> Udp
+  | v -> Unknown_proto v
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set_ip b off ip =
+  let v = Ipv4_addr.to_int32 ip in
+  for i = 0 to 3 do
+    Bytes.set b (off + i)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v ((3 - i) * 8)) land 0xff))
+  done
+
+let get_ip b off =
+  let v = ref 0l in
+  for i = 0 to 3 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  Ipv4_addr.of_int32 !v
+
+let build_into h b ~off =
+  Bytes.set b off '\x45' (* version 4, ihl 5 *);
+  Bytes.set b (off + 1) '\000' (* dscp/ecn *);
+  set_u16 b (off + 2) h.total_len;
+  set_u16 b (off + 4) h.ident;
+  set_u16 b (off + 6) 0x4000 (* DF, fragment offset 0 *);
+  Bytes.set b (off + 8) (Char.chr (h.ttl land 0xff));
+  Bytes.set b (off + 9) (Char.chr (protocol_to_int h.protocol land 0xff));
+  set_u16 b (off + 10) 0 (* checksum placeholder *);
+  set_ip b (off + 12) h.src;
+  set_ip b (off + 16) h.dst;
+  set_u16 b (off + 10) (Checksum.compute b ~off ~len:header_len)
+
+let build h ~payload =
+  let b = Bytes.create (header_len + Bytes.length payload) in
+  build_into h b ~off:0;
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  b
+
+let parse b ~off ~len =
+  if len < header_len then Error "ipv4: truncated header"
+  else begin
+    let vihl = Char.code (Bytes.get b off) in
+    if vihl lsr 4 <> 4 then Error "ipv4: not version 4"
+    else begin
+      let ihl = (vihl land 0xf) * 4 in
+      if ihl < header_len then Error "ipv4: bad ihl"
+      else if len < ihl then Error "ipv4: truncated options"
+      else if not (Checksum.valid b ~off ~len:ihl) then Error "ipv4: bad checksum"
+      else begin
+        let total_len = get_u16 b (off + 2) in
+        if total_len < ihl || total_len > len then Error "ipv4: bad total length"
+        else
+          Ok
+            ( {
+                src = get_ip b (off + 12);
+                dst = get_ip b (off + 16);
+                protocol = protocol_of_int (Char.code (Bytes.get b (off + 9)));
+                ttl = Char.code (Bytes.get b (off + 8));
+                ident = get_u16 b (off + 4);
+                total_len;
+              },
+              off + ihl )
+      end
+    end
+  end
+
+let pseudo_header_sum ~src ~dst ~protocol ~len =
+  let b = Bytes.create 12 in
+  set_ip b 0 src;
+  set_ip b 4 dst;
+  Bytes.set b 8 '\000';
+  Bytes.set b 9 (Char.chr (protocol_to_int protocol land 0xff));
+  set_u16 b 10 len;
+  Checksum.ones_complement_sum b ~off:0 ~len:12
+
+let pp_header fmt h =
+  let proto =
+    match h.protocol with
+    | Icmp -> "icmp"
+    | Tcp -> "tcp"
+    | Udp -> "udp"
+    | Unknown_proto v -> string_of_int v
+  in
+  Format.fprintf fmt "%a > %a %s len=%d ttl=%d" Ipv4_addr.pp h.src Ipv4_addr.pp
+    h.dst proto h.total_len h.ttl

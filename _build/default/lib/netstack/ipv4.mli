@@ -1,0 +1,37 @@
+(** IPv4 (RFC 791): header construction, parsing and validation.
+
+    No options and no fragmentation — the stack always sends DF packets
+    sized to the device MTU, as F-Stack/DPDK data paths do. *)
+
+type protocol = Icmp | Tcp | Udp | Unknown_proto of int
+
+type header = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  protocol : protocol;
+  ttl : int;
+  ident : int;
+  total_len : int;  (** Header + payload, bytes. *)
+}
+
+val header_len : int
+(** 20 (no options). *)
+
+val protocol_to_int : protocol -> int
+val protocol_of_int : int -> protocol
+
+val build_into : header -> bytes -> off:int -> unit
+(** Write a 20-byte header (with checksum) at [off]; [total_len] must
+    already count the payload that follows. *)
+
+val build : header -> payload:bytes -> bytes
+
+val parse : bytes -> off:int -> len:int -> (header * int, string) result
+(** Validates version, header length, checksum and total length against
+    [len] available bytes; returns the header and payload offset. *)
+
+val pseudo_header_sum : src:Ipv4_addr.t -> dst:Ipv4_addr.t -> protocol:protocol -> len:int -> int
+(** One's-complement sum of the TCP/UDP pseudo-header, for transport
+    checksums. *)
+
+val pp_header : Format.formatter -> header -> unit

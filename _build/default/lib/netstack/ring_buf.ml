@@ -1,0 +1,55 @@
+type t = {
+  data : bytes;
+  mutable head : int;  (* index of the first valid byte *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring_buf.create: capacity must be positive";
+  { data = Bytes.create capacity; head = 0; len = 0 }
+
+let capacity t = Bytes.length t.data
+let length t = t.len
+let free_space t = capacity t - t.len
+let is_empty t = t.len = 0
+
+let write t src ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Ring_buf.write: bad source range";
+  let n = min len (free_space t) in
+  let cap = capacity t in
+  let tail = (t.head + t.len) mod cap in
+  let first = min n (cap - tail) in
+  Bytes.blit src off t.data tail first;
+  if n > first then Bytes.blit src (off + first) t.data 0 (n - first);
+  t.len <- t.len + n;
+  n
+
+let peek t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Ring_buf.peek: range exceeds buffered data";
+  let cap = capacity t in
+  let start = (t.head + off) mod cap in
+  let dst = Bytes.create len in
+  let first = min len (cap - start) in
+  Bytes.blit t.data start dst 0 first;
+  if len > first then Bytes.blit t.data 0 dst first (len - first);
+  dst
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Ring_buf.drop: beyond buffered data";
+  t.head <- (t.head + n) mod capacity t;
+  t.len <- t.len - n
+
+let read_into t ~dst ~dst_off ~len =
+  let n = min len t.len in
+  if n > 0 then begin
+    let b = peek t ~off:0 ~len:n in
+    Bytes.blit b 0 dst dst_off n;
+    drop t n
+  end;
+  n
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

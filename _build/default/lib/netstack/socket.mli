@@ -1,0 +1,52 @@
+(** Socket objects and the per-stack file-descriptor table.
+
+    Pure bookkeeping (allocation, readiness, accept queues); all
+    wire-facing behaviour lives in {!Stack}, which owns one [table] per
+    stack instance, exactly as each F-Stack instance owns its private fd
+    space (fds are not shared between cVMs). *)
+
+type tcp_sock = {
+  fd : int;
+  cb : Tcp_cb.t;
+  mutable listening : bool;
+  mutable backlog : int;
+  accept_q : tcp_sock Queue.t;
+  mutable pending_error : Errno.t option;
+  mutable connect_started : bool;
+  mutable closed_by_app : bool;
+}
+
+type udp_sock = {
+  ufd : int;
+  mutable uport : int option;
+  rcv_q : (Ipv4_addr.t * int * bytes) Queue.t;
+  max_rcv_q : int;
+}
+
+type sock =
+  | Tcp of tcp_sock
+  | Udp of udp_sock
+  | Epoll_inst of Epoll.t
+
+type table
+
+val create_table : ?max_fds:int -> unit -> table
+
+val alloc : table -> (int -> sock) -> (int * sock, Errno.t) result
+(** Allocate the lowest free fd and install the socket built by the
+    callback. [Error EMFILE] when the table is full. *)
+
+val find : table -> int -> sock option
+val find_tcp : table -> int -> (tcp_sock, Errno.t) result
+val find_udp : table -> int -> (udp_sock, Errno.t) result
+val find_epoll : table -> int -> (Epoll.t, Errno.t) result
+val release : table -> int -> unit
+val fds : table -> int list
+val live_count : table -> int
+
+val iter_tcp : table -> (tcp_sock -> unit) -> unit
+
+(** {1 Readiness (level-triggered)} *)
+
+val tcp_readiness : tcp_sock -> Epoll.events
+val udp_readiness : udp_sock -> Epoll.events

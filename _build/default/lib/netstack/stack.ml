@@ -1,0 +1,714 @@
+type config = {
+  ip : Ipv4_addr.t;
+  prefix : int;
+  gateway : Ipv4_addr.t option;
+  mtu : int;
+  tcp : Tcp_cb.config;
+  burst : int;
+  loop_gap : Dsim.Time.t;
+  idle_gap_max : Dsim.Time.t;
+  loop_base_ns : float;
+  per_packet_ns : float;
+  rng_seed : int64;
+}
+
+let default_config ~ip =
+  {
+    ip;
+    prefix = 24;
+    gateway = None;
+    mtu = 1500;
+    tcp = Tcp_cb.default_config;
+    burst = 32;
+    loop_gap = Dsim.Time.ns 200;
+    idle_gap_max = Dsim.Time.us 10;
+    loop_base_ns = 2_000.;
+    per_packet_ns = 7_200.;
+    rng_seed = 0x5eedL;
+  }
+
+type counters = {
+  mutable rx_frames : int;
+  mutable tx_frames : int;
+  mutable rx_dropped : int;
+  mutable tx_no_mbuf : int;
+  mutable rst_sent : int;
+  mutable arp_requests : int;
+}
+
+type conn_key = int32 * int * int (* remote ip, remote port, local port *)
+
+type t = {
+  engine : Dsim.Engine.t;
+  mem : Cheri.Tagged_memory.t;
+  dev : Dpdk.Eth_dev.t;
+  config : config;
+  mac : Nic.Mac_addr.t;
+  table : Socket.table;
+  listeners : (int, Socket.tcp_sock) Hashtbl.t;
+  conns : (conn_key, Socket.tcp_sock) Hashtbl.t;
+  udp_binds : (int, Socket.udp_sock) Hashtbl.t;
+  sock_ctx : (int, Tcp_cb.ctx) Hashtbl.t;  (* fd -> its stable ctx *)
+  arp : Arp_cache.t;
+  rng : Dsim.Rng.t;
+  counters : counters;
+  mutable ident : int;
+  mutable ephemeral : int;
+  mutable loops : int;
+  mutable running : bool;
+  mutable idle_streak : int;
+  mutable ping_replies : (int * int) list;
+  mutable hook : (t -> unit) option;
+  mutable capture : Capture.t option;
+}
+
+let create engine mem dev config =
+  {
+    engine;
+    mem;
+    dev;
+    config;
+    mac = Nic.Igb.mac (Dpdk.Eth_dev.port dev);
+    table = Socket.create_table ();
+    listeners = Hashtbl.create 8;
+    conns = Hashtbl.create 64;
+    udp_binds = Hashtbl.create 8;
+    sock_ctx = Hashtbl.create 64;
+    arp = Arp_cache.create ();
+    rng = Dsim.Rng.create ~seed:config.rng_seed;
+    counters =
+      {
+        rx_frames = 0;
+        tx_frames = 0;
+        rx_dropped = 0;
+        tx_no_mbuf = 0;
+        rst_sent = 0;
+        arp_requests = 0;
+      };
+    ident = 0;
+    ephemeral = 49152;
+    loops = 0;
+    running = false;
+    idle_streak = 0;
+    ping_replies = [];
+    hook = None;
+    capture = None;
+  }
+
+let engine t = t.engine
+let ip t = t.config.ip
+let mac t = t.mac
+let config t = t.config
+let now t = Dsim.Engine.now t.engine
+let counters t = t.counters
+let loops t = t.loops
+let live_sockets t = Socket.live_count t.table
+
+let tcp_sock_of_fd t fd =
+  match Socket.find t.table fd with Some (Socket.Tcp s) -> Some s | _ -> None
+
+let set_capture t cap = t.capture <- cap
+let capture t = t.capture
+
+let record_frame t dir frame =
+  match t.capture with
+  | Some c -> Capture.record c ~at:(Dsim.Engine.now t.engine) dir frame
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Frame transmission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let send_frame t ~dst_mac ~ethertype payload =
+  let pool = Dpdk.Eth_dev.rx_pool t.dev in
+  match Dpdk.Mbuf.alloc pool with
+  | None -> t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1
+  | Some m ->
+    let frame_len = Ethernet.header_len + Bytes.length payload in
+    ignore (Dpdk.Mbuf.append m frame_len);
+    let frame = Bytes.create frame_len in
+    Ethernet.build_into { Ethernet.dst = dst_mac; src = t.mac; ethertype } frame;
+    Bytes.blit payload 0 frame Ethernet.header_len (Bytes.length payload);
+    Dpdk.Mbuf.write t.mem m ~off:0 frame;
+    record_frame t Capture.Tx frame;
+    (match Dpdk.Eth_dev.tx_burst t.dev [ m ] with
+    | [] -> t.counters.tx_frames <- t.counters.tx_frames + 1
+    | rejected ->
+      List.iter Dpdk.Mbuf.free rejected;
+      t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1)
+
+let send_arp t pkt =
+  let dst_mac =
+    match pkt.Arp.op with
+    | Arp.Request -> Nic.Mac_addr.broadcast
+    | Arp.Reply -> pkt.Arp.target_mac
+  in
+  send_frame t ~dst_mac ~ethertype:Ethernet.Arp (Arp.build pkt)
+
+let next_hop t dst =
+  if Ipv4_addr.in_same_subnet t.config.ip dst ~prefix:t.config.prefix then dst
+  else match t.config.gateway with Some gw -> gw | None -> dst
+
+let ip_output t ~dst ~protocol payload =
+  t.ident <- (t.ident + 1) land 0xffff;
+  let header =
+    {
+      Ipv4.src = t.config.ip;
+      dst;
+      protocol;
+      ttl = 64;
+      ident = t.ident;
+      total_len = Ipv4.header_len + Bytes.length payload;
+    }
+  in
+  let packet = Ipv4.build header ~payload in
+  let hop = next_hop t dst in
+  match Arp_cache.lookup t.arp ~now:(now t) hop with
+  | Some dst_mac -> send_frame t ~dst_mac ~ethertype:Ethernet.Ipv4 packet
+  | None ->
+    ignore (Arp_cache.enqueue_pending t.arp hop packet);
+    if not (Arp_cache.request_outstanding t.arp ~now:(now t) hop) then begin
+      t.counters.arp_requests <- t.counters.arp_requests + 1;
+      send_arp t
+        (Arp.request ~sender_mac:t.mac ~sender_ip:t.config.ip ~target_ip:hop)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* TCP plumbing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conn_key_of (cb : Tcp_cb.t) : conn_key =
+  (Ipv4_addr.to_int32 cb.remote_ip, cb.remote_port, cb.local_port)
+
+let emit_tcp t (cb : Tcp_cb.t) header payload =
+  let segment =
+    Tcp_wire.build ~src:cb.local_ip ~dst:cb.remote_ip header ~payload
+  in
+  ip_output t ~dst:cb.remote_ip ~protocol:Ipv4.Tcp segment
+
+let handle_event t (sock : Socket.tcp_sock) ~parent event =
+  match (event : Tcp_cb.event) with
+  | Tcp_cb.Connected -> (
+    match parent with
+    | Some (listener : Socket.tcp_sock) ->
+      if Queue.length listener.Socket.accept_q < listener.Socket.backlog then
+        Queue.push sock listener.Socket.accept_q
+      else begin
+        (* Backlog overflow: abort the fresh connection. *)
+        sock.Socket.closed_by_app <- true;
+        sock.Socket.cb.Tcp_cb.fin_queued <- true;
+        sock.Socket.cb.Tcp_cb.state <- Tcp_cb.Fin_wait_1
+      end
+    | None -> ())
+  | Tcp_cb.Conn_refused -> sock.Socket.pending_error <- Some Errno.ECONNREFUSED
+  | Tcp_cb.Conn_reset -> sock.Socket.pending_error <- Some Errno.ECONNRESET
+  | Tcp_cb.Closed_done ->
+    Hashtbl.remove t.conns (conn_key_of sock.Socket.cb);
+    Hashtbl.remove t.sock_ctx sock.Socket.fd;
+    if sock.Socket.closed_by_app then Socket.release t.table sock.Socket.fd
+  | Tcp_cb.Data_readable | Tcp_cb.Writable | Tcp_cb.Peer_closed -> ()
+
+let make_ctx t sock ~parent : Tcp_cb.ctx =
+  {
+    Tcp_cb.now = (fun () -> now t);
+    emit = (fun header payload -> emit_tcp t sock.Socket.cb header payload);
+    on_event = (fun ev -> handle_event t sock ~parent ev);
+  }
+
+(* Each TCP socket gets one stable ctx, installed on first use; passive
+   children capture their listener in it. *)
+let get_ctx t (sock : Socket.tcp_sock) =
+  match Hashtbl.find_opt t.sock_ctx sock.Socket.fd with
+  | Some c -> c
+  | None ->
+    let c = make_ctx t sock ~parent:None in
+    Hashtbl.replace t.sock_ctx sock.Socket.fd c;
+    c
+
+let new_tcp_sock t fd ~local_port : Socket.tcp_sock =
+  {
+    Socket.fd;
+    cb = Tcp_cb.create ~config:t.config.tcp ~local_ip:t.config.ip ~local_port ();
+    listening = false;
+    backlog = 0;
+    accept_q = Queue.create ();
+    pending_error = None;
+    connect_started = false;
+    closed_by_app = false;
+  }
+
+let fresh_iss t = Dsim.Rng.int t.rng 0x7FFFFFFF
+
+let port_in_use t port =
+  Hashtbl.mem t.listeners port
+  ||
+  let used = ref false in
+  Socket.iter_tcp t.table (fun s ->
+      if s.Socket.cb.Tcp_cb.local_port = port then used := true);
+  !used
+
+let ephemeral_port t =
+  let rec go attempts =
+    if attempts > 16384 then None
+    else begin
+      let p = t.ephemeral in
+      t.ephemeral <- (if p >= 65535 then 49152 else p + 1);
+      if port_in_use t p then go (attempts + 1) else Some p
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Input demux                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let send_rst t ~(ip_hdr : Ipv4.header) ~(tcp_hdr : Tcp_wire.header) ~payload_len =
+  match Tcp_output.make_rst ~to_header:tcp_hdr ~payload_len with
+  | None -> ()
+  | Some rst ->
+    t.counters.rst_sent <- t.counters.rst_sent + 1;
+    let segment =
+      Tcp_wire.build ~src:t.config.ip ~dst:ip_hdr.Ipv4.src rst ~payload:Bytes.empty
+    in
+    ip_output t ~dst:ip_hdr.Ipv4.src ~protocol:Ipv4.Tcp segment
+
+let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
+  let build fd =
+    let sock = new_tcp_sock t fd ~local_port:hdr.Tcp_wire.dst_port in
+    sock.Socket.cb.Tcp_cb.remote_ip <- ip_hdr.Ipv4.src;
+    sock.Socket.cb.Tcp_cb.remote_port <- hdr.Tcp_wire.src_port;
+    Socket.Tcp sock
+  in
+  match Socket.alloc t.table build with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok (fd, Socket.Tcp child) ->
+    let ctx = make_ctx t child ~parent:(Some listener) in
+    Hashtbl.replace t.sock_ctx fd ctx;
+    Hashtbl.replace t.conns (conn_key_of child.Socket.cb) child;
+    Tcp_input.accept_syn child.Socket.cb ctx hdr ~iss:(fresh_iss t)
+  | Ok _ -> assert false
+
+let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+  match Tcp_wire.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok (hdr, payload_off) -> (
+    let payload_len = off + len - payload_off in
+    let payload = Bytes.sub buf payload_off payload_len in
+    let key : conn_key =
+      (Ipv4_addr.to_int32 ip_hdr.Ipv4.src, hdr.Tcp_wire.src_port, hdr.Tcp_wire.dst_port)
+    in
+    match Hashtbl.find_opt t.conns key with
+    | Some sock ->
+      let ctx = get_ctx t sock in
+      Tcp_input.process sock.Socket.cb ctx hdr payload;
+      if sock.Socket.cb.Tcp_cb.state <> Tcp_cb.Closed then
+        Tcp_output.flush sock.Socket.cb ctx
+    | None -> (
+      match Hashtbl.find_opt t.listeners hdr.Tcp_wire.dst_port with
+      | Some listener
+        when hdr.Tcp_wire.flags.Tcp_wire.syn && not hdr.Tcp_wire.flags.Tcp_wire.ack
+        -> spawn_passive t listener ~ip_hdr hdr
+      | Some _ | None -> send_rst t ~ip_hdr ~tcp_hdr:hdr ~payload_len))
+
+(* ------------------------------------------------------------------ *)
+(* ICMP / UDP input                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let icmp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+  match Icmp.parse buf ~off ~len with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok msg -> (
+    match msg with
+    | Icmp.Echo_reply { ident; seq; _ } ->
+      t.ping_replies <- (ident, seq) :: t.ping_replies
+    | _ -> (
+      match Icmp.reply_to msg with
+      | Some reply ->
+        ip_output t ~dst:ip_hdr.Ipv4.src ~protocol:Ipv4.Icmp (Icmp.build reply)
+      | None -> ()))
+
+let udp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+  match Udp.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok (hdr, payload_off) -> (
+    match Hashtbl.find_opt t.udp_binds hdr.Udp.dst_port with
+    | None -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+    | Some sock ->
+      if Queue.length sock.Socket.rcv_q >= sock.Socket.max_rcv_q then
+        t.counters.rx_dropped <- t.counters.rx_dropped + 1
+      else begin
+        let data_len = hdr.Udp.length - Udp.header_len in
+        let data = Bytes.sub buf payload_off data_len in
+        Queue.push (ip_hdr.Ipv4.src, hdr.Udp.src_port, data) sock.Socket.rcv_q
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Frame input                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arp_input t buf ~off =
+  match Arp.parse buf ~off with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok pkt ->
+    if Ipv4_addr.equal pkt.Arp.target_ip t.config.ip then begin
+      Arp_cache.insert t.arp ~now:(now t) pkt.Arp.sender_ip pkt.Arp.sender_mac;
+      (match pkt.Arp.op with
+      | Arp.Request -> send_arp t (Arp.reply_to pkt ~mac:t.mac)
+      | Arp.Reply -> ());
+      List.iter
+        (fun packet ->
+          send_frame t ~dst_mac:pkt.Arp.sender_mac ~ethertype:Ethernet.Ipv4 packet)
+        (Arp_cache.take_pending t.arp pkt.Arp.sender_ip)
+    end
+
+let ipv4_input t buf ~off ~len =
+  match Ipv4.parse buf ~off ~len with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok (ip_hdr, payload_off) ->
+    if
+      Ipv4_addr.equal ip_hdr.Ipv4.dst t.config.ip
+      || Ipv4_addr.equal ip_hdr.Ipv4.dst Ipv4_addr.broadcast
+    then begin
+      let payload_len = ip_hdr.Ipv4.total_len - (payload_off - off) in
+      match ip_hdr.Ipv4.protocol with
+      | Ipv4.Tcp -> tcp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Icmp -> icmp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Udp -> udp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Unknown_proto _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+    end
+
+let handle_frame t frame =
+  t.counters.rx_frames <- t.counters.rx_frames + 1;
+  record_frame t Capture.Rx frame;
+  match Ethernet.parse frame with
+  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Ok (eth, payload_off) -> (
+    match eth.Ethernet.ethertype with
+    | Ethernet.Arp -> arp_input t frame ~off:payload_off
+    | Ethernet.Ipv4 ->
+      ipv4_input t frame ~off:payload_off ~len:(Bytes.length frame - payload_off)
+    | Ethernet.Unknown _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let service_tcp t =
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key sock ->
+      let ctx = get_ctx t sock in
+      Tcp_timer.check sock.Socket.cb ctx;
+      if sock.Socket.cb.Tcp_cb.state = Tcp_cb.Closed then dead := key :: !dead
+      else Tcp_output.flush sock.Socket.cb ctx)
+    t.conns;
+  List.iter (Hashtbl.remove t.conns) !dead
+
+let set_hook t hook = t.hook <- hook
+
+(* CPU cost of one iteration: every frame that crossed the stack during
+   the iteration (received bursts, plus transmissions triggered by TCP
+   flushes and by the application hook) is charged [per_packet_ns]. In
+   Scenario 2 this value is the mutex hold time of the main loop. *)
+let loop_once t =
+  t.loops <- t.loops + 1;
+  let tx_before = t.counters.tx_frames in
+  let mbufs = Dpdk.Eth_dev.rx_burst t.dev ~max:t.config.burst in
+  let n = List.length mbufs in
+  List.iter
+    (fun m ->
+      let frame = Dpdk.Mbuf.contents t.mem m in
+      Dpdk.Mbuf.free m;
+      handle_frame t frame)
+    mbufs;
+  service_tcp t;
+  (match t.hook with Some h -> h t | None -> ());
+  let tx_delta = t.counters.tx_frames - tx_before in
+  let busy = n + tx_delta in
+  if busy > 0 then t.idle_streak <- 0 else t.idle_streak <- t.idle_streak + 1;
+  if busy = 0 then t.config.loop_base_ns /. 4.
+  else t.config.loop_base_ns +. (t.config.per_packet_ns *. float_of_int busy)
+
+let stop t = t.running <- false
+
+let start ?hook t =
+  (match hook with Some _ -> t.hook <- hook | None -> ());
+  t.running <- true;
+  let rec iterate () =
+    if t.running then begin
+      let work_ns = loop_once t in
+      let gap =
+        if t.idle_streak = 0 then t.config.loop_gap
+        else begin
+          let backoff =
+            Dsim.Time.mul t.config.loop_gap (1 lsl min t.idle_streak 6)
+          in
+          Dsim.Time.min backoff t.config.idle_gap_max
+        end
+      in
+      let delay = Dsim.Time.add (Dsim.Time.of_float_ns work_ns) gap in
+      ignore (Dsim.Engine.schedule t.engine ~delay iterate)
+    end
+  in
+  iterate ()
+
+(* ------------------------------------------------------------------ *)
+(* Socket API                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let socket_stream t =
+  match Socket.alloc t.table (fun fd -> Socket.Tcp (new_tcp_sock t fd ~local_port:0)) with
+  | Ok (fd, _) -> Ok fd
+  | Error e -> Error e
+
+let bind t fd ~port =
+  let* sock = Socket.find_tcp t.table fd in
+  if port <= 0 || port > 65535 then Error Errno.EINVAL
+  else if port_in_use t port then Error Errno.EADDRINUSE
+  else begin
+    sock.Socket.cb.Tcp_cb.local_port <- port;
+    Ok ()
+  end
+
+let listen t fd ~backlog =
+  let* sock = Socket.find_tcp t.table fd in
+  if sock.Socket.cb.Tcp_cb.local_port = 0 then Error Errno.EINVAL
+  else begin
+    sock.Socket.listening <- true;
+    sock.Socket.backlog <- max 1 backlog;
+    Tcp_cb.open_passive sock.Socket.cb;
+    Hashtbl.replace t.listeners sock.Socket.cb.Tcp_cb.local_port sock;
+    Ok ()
+  end
+
+let accept t fd =
+  let* sock = Socket.find_tcp t.table fd in
+  if not sock.Socket.listening then Error Errno.EINVAL
+  else if Queue.is_empty sock.Socket.accept_q then Error Errno.EAGAIN
+  else begin
+    let child = Queue.pop sock.Socket.accept_q in
+    Ok
+      ( child.Socket.fd,
+        child.Socket.cb.Tcp_cb.remote_ip,
+        child.Socket.cb.Tcp_cb.remote_port )
+  end
+
+let connect t fd ~ip ~port =
+  let* sock = Socket.find_tcp t.table fd in
+  if sock.Socket.connect_started then
+    if sock.Socket.cb.Tcp_cb.state = Tcp_cb.Established then Error Errno.EISCONN
+    else Error Errno.EALREADY
+  else begin
+    (if sock.Socket.cb.Tcp_cb.local_port = 0 then
+       match ephemeral_port t with
+       | Some p -> sock.Socket.cb.Tcp_cb.local_port <- p
+       | None -> ());
+    if sock.Socket.cb.Tcp_cb.local_port = 0 then Error Errno.EADDRINUSE
+    else begin
+      sock.Socket.connect_started <- true;
+      let ctx = get_ctx t sock in
+      Hashtbl.replace t.conns
+        (Ipv4_addr.to_int32 ip, port, sock.Socket.cb.Tcp_cb.local_port)
+        sock;
+      Tcp_cb.open_active sock.Socket.cb ctx ~remote_ip:ip ~remote_port:port
+        ~iss:(fresh_iss t);
+      Error Errno.EINPROGRESS
+    end
+  end
+
+let read t fd ~buf ~off ~len =
+  let* sock = Socket.find_tcp t.table fd in
+  if sock.Socket.listening then Error Errno.EOPNOTSUPP
+  else begin
+    match sock.Socket.pending_error with
+    | Some e ->
+      sock.Socket.pending_error <- None;
+      Error e
+    | None ->
+      let cb = sock.Socket.cb in
+      let n = Ring_buf.read_into cb.Tcp_cb.rcv_buf ~dst:buf ~dst_off:off ~len in
+      if n > 0 then begin
+        (* Freed receive space: push a window update if we had been
+           sitting on a shrunken advertisement. *)
+        if cb.Tcp_cb.segs_since_ack > 0 then
+          Tcp_output.send_ack cb (get_ctx t sock);
+        Ok n
+      end
+      else if cb.Tcp_cb.fin_received then Ok 0
+      else begin
+        match cb.Tcp_cb.state with
+        | Tcp_cb.Closed ->
+          if sock.Socket.connect_started then Error Errno.ECONNRESET
+          else Error Errno.ENOTCONN
+        | Tcp_cb.Listen -> Error Errno.ENOTCONN
+        | _ -> Error Errno.EAGAIN
+      end
+  end
+
+let write t fd ~buf ~off ~len =
+  let* sock = Socket.find_tcp t.table fd in
+  if sock.Socket.listening then Error Errno.EOPNOTSUPP
+  else begin
+    match sock.Socket.pending_error with
+    | Some e ->
+      sock.Socket.pending_error <- None;
+      Error e
+    | None -> (
+      let cb = sock.Socket.cb in
+      match cb.Tcp_cb.state with
+      | Tcp_cb.Established | Tcp_cb.Close_wait ->
+        let n = Ring_buf.write cb.Tcp_cb.snd_buf buf ~off ~len in
+        if n = 0 then Error Errno.EAGAIN
+        else begin
+          Tcp_output.flush cb (get_ctx t sock);
+          Ok n
+        end
+      | Tcp_cb.Syn_sent | Tcp_cb.Syn_received -> Error Errno.EAGAIN
+      | Tcp_cb.Listen | Tcp_cb.Closed -> Error Errno.ENOTCONN
+      | Tcp_cb.Fin_wait_1 | Tcp_cb.Fin_wait_2 | Tcp_cb.Closing
+      | Tcp_cb.Last_ack | Tcp_cb.Time_wait -> Error Errno.EPIPE)
+  end
+
+let flush_fd t fd =
+  match tcp_sock_of_fd t fd with
+  | None -> ()
+  | Some sock -> Tcp_output.flush sock.Socket.cb (get_ctx t sock)
+
+let close t fd =
+  match Socket.find t.table fd with
+  | None -> Error Errno.EBADF
+  | Some (Socket.Epoll_inst _) ->
+    Socket.release t.table fd;
+    Ok ()
+  | Some (Socket.Udp u) ->
+    (match u.Socket.uport with
+    | Some p -> Hashtbl.remove t.udp_binds p
+    | None -> ());
+    Socket.release t.table fd;
+    Ok ()
+  | Some (Socket.Tcp sock) ->
+    sock.Socket.closed_by_app <- true;
+    if sock.Socket.listening then begin
+      Hashtbl.remove t.listeners sock.Socket.cb.Tcp_cb.local_port;
+      Queue.iter
+        (fun (child : Socket.tcp_sock) ->
+          child.Socket.closed_by_app <- true;
+          child.Socket.cb.Tcp_cb.fin_queued <- true;
+          child.Socket.cb.Tcp_cb.state <- Tcp_cb.Fin_wait_1)
+        sock.Socket.accept_q;
+      Queue.clear sock.Socket.accept_q;
+      Socket.release t.table fd;
+      Ok ()
+    end
+    else begin
+      let cb = sock.Socket.cb in
+      let ctx = get_ctx t sock in
+      (match cb.Tcp_cb.state with
+      | Tcp_cb.Established ->
+        cb.Tcp_cb.state <- Tcp_cb.Fin_wait_1;
+        cb.Tcp_cb.fin_queued <- true;
+        Tcp_output.flush cb ctx
+      | Tcp_cb.Close_wait ->
+        cb.Tcp_cb.state <- Tcp_cb.Last_ack;
+        cb.Tcp_cb.fin_queued <- true;
+        Tcp_output.flush cb ctx
+      | Tcp_cb.Syn_sent | Tcp_cb.Syn_received | Tcp_cb.Listen | Tcp_cb.Closed ->
+        Tcp_cb.to_closed cb ctx
+      | Tcp_cb.Fin_wait_1 | Tcp_cb.Fin_wait_2 | Tcp_cb.Closing
+      | Tcp_cb.Last_ack | Tcp_cb.Time_wait -> ());
+      if cb.Tcp_cb.state = Tcp_cb.Closed then Socket.release t.table fd;
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Epoll                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let epoll_create t =
+  match Socket.alloc t.table (fun _fd -> Socket.Epoll_inst (Epoll.create ())) with
+  | Ok (fd, _) -> Ok fd
+  | Error e -> Error e
+
+let epoll_ctl t ~epfd ~op ~fd events =
+  let* ep = Socket.find_epoll t.table epfd in
+  if Socket.find t.table fd = None then Error Errno.EBADF
+  else begin
+    match op with
+    | `Add -> Epoll.ctl_add ep ~fd events
+    | `Mod -> Epoll.ctl_mod ep ~fd events
+    | `Del -> Epoll.ctl_del ep ~fd
+  end
+
+let readiness_of t fd =
+  match Socket.find t.table fd with
+  | Some (Socket.Tcp s) -> Socket.tcp_readiness s
+  | Some (Socket.Udp s) -> Socket.udp_readiness s
+  | Some (Socket.Epoll_inst _) -> 0
+  | None -> Epoll.epollerr lor Epoll.epollhup
+
+let epoll_wait t ~epfd ~max =
+  let* ep = Socket.find_epoll t.table epfd in
+  Ok (Epoll.wait ep ~readiness:(readiness_of t) ~max)
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let udp_socket t =
+  match
+    Socket.alloc t.table (fun fd ->
+        Socket.Udp
+          { Socket.ufd = fd; uport = None; rcv_q = Queue.create (); max_rcv_q = 256 })
+  with
+  | Ok (fd, _) -> Ok fd
+  | Error e -> Error e
+
+let udp_bind t fd ~port =
+  let* sock = Socket.find_udp t.table fd in
+  if Hashtbl.mem t.udp_binds port then Error Errno.EADDRINUSE
+  else begin
+    sock.Socket.uport <- Some port;
+    Hashtbl.replace t.udp_binds port sock;
+    Ok ()
+  end
+
+let udp_sendto t fd ~ip ~port ~buf =
+  let* sock = Socket.find_udp t.table fd in
+  let src_port =
+    match sock.Socket.uport with
+    | Some p -> p
+    | None -> (
+      match ephemeral_port t with
+      | Some p ->
+        sock.Socket.uport <- Some p;
+        Hashtbl.replace t.udp_binds p sock;
+        p
+      | None -> 0)
+  in
+  if src_port = 0 then Error Errno.EADDRINUSE
+  else if Bytes.length buf + Udp.header_len + Ipv4.header_len > t.config.mtu then
+    Error Errno.EMSGSIZE
+  else begin
+    let dgram =
+      Udp.build ~src:t.config.ip ~dst:ip ~src_port ~dst_port:port ~payload:buf
+    in
+    ip_output t ~dst:ip ~protocol:Ipv4.Udp dgram;
+    Ok ()
+  end
+
+let udp_recvfrom t fd =
+  let* sock = Socket.find_udp t.table fd in
+  if Queue.is_empty sock.Socket.rcv_q then Ok None
+  else Ok (Some (Queue.pop sock.Socket.rcv_q))
+
+(* ------------------------------------------------------------------ *)
+(* ICMP convenience                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ping t ~ip ~ident ~seq ~payload =
+  let msg = Icmp.Echo_request { ident; seq; data = payload } in
+  ip_output t ~dst:ip ~protocol:Ipv4.Icmp (Icmp.build msg)
+
+let pings_received t = t.ping_replies

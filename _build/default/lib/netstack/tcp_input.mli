@@ -1,0 +1,17 @@
+(** TCP segment arrival processing (RFC 793 event "SEGMENT ARRIVES",
+    plus RFC 5681 congestion reactions and RFC 7323 timestamp echo).
+
+    [Listen] is handled at the stack layer — a SYN routed to a listener
+    spawns a fresh control block via {!accept_syn} — so [process] covers
+    every synchronised state plus [Syn_sent]. *)
+
+val process : Tcp_cb.t -> Tcp_cb.ctx -> Tcp_wire.header -> bytes -> unit
+(** Mutates the control block, fires events on the ctx, and may emit
+    immediate segments (dup ACKs, fast retransmits, handshake replies).
+    The regular data/ACK output happens in the caller's subsequent
+    {!Tcp_output.flush}. *)
+
+val accept_syn :
+  Tcp_cb.t -> Tcp_cb.ctx -> Tcp_wire.header -> iss:Tcp_seq.t -> unit
+(** Initialise a fresh control block from a SYN aimed at a listener and
+    send the SYN-ACK ([Syn_received]). *)

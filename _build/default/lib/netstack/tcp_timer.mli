@@ -1,0 +1,12 @@
+(** Poll-driven TCP timers.
+
+    F-Stack has no interrupt context: the main loop calls [check] for
+    every connection on each iteration. Handles the retransmission
+    timer (with exponential backoff and go-back-N on expiry), the
+    zero-window persist probe, the delayed-ACK deadline (fired by the
+    subsequent {!Tcp_output.flush}) and the TIME_WAIT 2MSL expiry. *)
+
+val max_backoff : int
+(** Retransmission attempts before the connection is dropped. *)
+
+val check : Tcp_cb.t -> Tcp_cb.ctx -> unit

@@ -1,0 +1,191 @@
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  urg : bool;
+}
+
+let flag ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false)
+    ?(psh = false) ?(urg = false) () =
+  { syn; ack; fin; rst; psh; urg }
+
+type option_ =
+  | Mss of int
+  | Wscale of int
+  | Timestamps of { tsval : int; tsecr : int }
+  | Unknown_option of int
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : Tcp_seq.t;
+  ack : Tcp_seq.t;
+  flags : flags;
+  window : int;
+  options : option_ list;
+}
+
+let base_header_len = 20
+
+let option_encoded_len = function
+  | Mss _ -> 4
+  | Wscale _ -> 4 (* 3 + 1 NOP *)
+  | Timestamps _ -> 12 (* 2 NOP + 10 *)
+  | Unknown_option _ -> 0
+
+let options_len options =
+  List.fold_left (fun acc o -> acc + option_encoded_len o) 0 options
+
+let header_len h = base_header_len + options_len h.options
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set_u32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let flags_to_int f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor if f.urg then 0x20 else 0
+
+let flags_of_int v =
+  {
+    fin = v land 0x01 <> 0;
+    syn = v land 0x02 <> 0;
+    rst = v land 0x04 <> 0;
+    psh = v land 0x08 <> 0;
+    ack = v land 0x10 <> 0;
+    urg = v land 0x20 <> 0;
+  }
+
+let write_option b off = function
+  | Mss v ->
+    Bytes.set b off '\002';
+    Bytes.set b (off + 1) '\004';
+    set_u16 b (off + 2) v;
+    off + 4
+  | Wscale v ->
+    Bytes.set b off '\001' (* NOP for alignment *);
+    Bytes.set b (off + 1) '\003';
+    Bytes.set b (off + 2) '\003';
+    Bytes.set b (off + 3) (Char.chr (v land 0xff));
+    off + 4
+  | Timestamps { tsval; tsecr } ->
+    Bytes.set b off '\001';
+    Bytes.set b (off + 1) '\001';
+    Bytes.set b (off + 2) '\008';
+    Bytes.set b (off + 3) '\010';
+    set_u32 b (off + 4) tsval;
+    set_u32 b (off + 8) tsecr;
+    off + 12
+  | Unknown_option _ -> off
+
+let build ~src ~dst h ~payload =
+  let hl = header_len h in
+  let len = hl + Bytes.length payload in
+  let b = Bytes.create len in
+  set_u16 b 0 h.src_port;
+  set_u16 b 2 h.dst_port;
+  set_u32 b 4 h.seq;
+  set_u32 b 8 h.ack;
+  Bytes.set b 12 (Char.chr ((hl / 4) lsl 4));
+  Bytes.set b 13 (Char.chr (flags_to_int h.flags));
+  set_u16 b 14 (min h.window 0xffff);
+  set_u16 b 16 0 (* checksum *);
+  set_u16 b 18 0 (* urgent pointer *);
+  let off = List.fold_left (fun o opt -> write_option b o opt) base_header_len h.options in
+  assert (off = hl);
+  Bytes.blit payload 0 b hl (Bytes.length payload);
+  let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Tcp ~len in
+  set_u16 b 16 (Checksum.compute ~init b ~off:0 ~len);
+  b
+
+let parse_options b ~off ~limit =
+  let rec go off acc =
+    if off >= limit then List.rev acc
+    else begin
+      match Char.code (Bytes.get b off) with
+      | 0 (* EOL *) -> List.rev acc
+      | 1 (* NOP *) -> go (off + 1) acc
+      | kind ->
+        if off + 1 >= limit then List.rev acc
+        else begin
+          let olen = Char.code (Bytes.get b (off + 1)) in
+          if olen < 2 || off + olen > limit then List.rev acc
+          else begin
+            let opt =
+              match kind with
+              | 2 when olen = 4 -> Mss (get_u16 b (off + 2))
+              | 3 when olen = 3 -> Wscale (Char.code (Bytes.get b (off + 2)))
+              | 8 when olen = 10 ->
+                Timestamps { tsval = get_u32 b (off + 2); tsecr = get_u32 b (off + 6) }
+              | k -> Unknown_option k
+            in
+            go (off + olen) (opt :: acc)
+          end
+        end
+    end
+  in
+  go off []
+
+let parse ~src ~dst b ~off ~len =
+  if len < base_header_len then Error "tcp: truncated header"
+  else begin
+    let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Tcp ~len in
+    if Checksum.compute ~init b ~off ~len <> 0 then Error "tcp: bad checksum"
+    else begin
+      let data_off = (Char.code (Bytes.get b (off + 12)) lsr 4) * 4 in
+      if data_off < base_header_len || data_off > len then Error "tcp: bad data offset"
+      else
+        Ok
+          ( {
+              src_port = get_u16 b off;
+              dst_port = get_u16 b (off + 2);
+              seq = Tcp_seq.of_int (get_u32 b (off + 4));
+              ack = Tcp_seq.of_int (get_u32 b (off + 8));
+              flags = flags_of_int (Char.code (Bytes.get b (off + 13)));
+              window = get_u16 b (off + 14);
+              options =
+                parse_options b ~off:(off + base_header_len) ~limit:(off + data_off);
+            },
+            off + data_off )
+    end
+  end
+
+let find_mss h =
+  List.find_map (function Mss v -> Some v | _ -> None) h.options
+
+let find_timestamps h =
+  List.find_map
+    (function Timestamps { tsval; tsecr } -> Some (tsval, tsecr) | _ -> None)
+    h.options
+
+let find_wscale h =
+  List.find_map (function Wscale v -> Some v | _ -> None) h.options
+
+let pp_flags fmt f =
+  let c b ch = if b then ch else "" in
+  Format.fprintf fmt "%s%s%s%s%s%s" (c f.syn "S") (c f.ack ".") (c f.fin "F")
+    (c f.rst "R") (c f.psh "P") (c f.urg "U")
+
+let pp_header fmt h =
+  Format.fprintf fmt "%d > %d [%a] seq=%a ack=%a win=%d" h.src_port h.dst_port
+    pp_flags h.flags Tcp_seq.pp h.seq Tcp_seq.pp h.ack h.window

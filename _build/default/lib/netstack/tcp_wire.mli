@@ -1,0 +1,54 @@
+(** TCP segment wire format (RFC 793 + MSS, window-scale and timestamp
+    options).
+
+    With the timestamp option on every data segment — as FreeBSD (and
+    hence F-Stack) enables by default — the MSS over a 1500-byte MTU is
+    1448 bytes, which is what makes 94.1% the theoretical single-port
+    efficiency in Table II. *)
+
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  urg : bool;
+}
+
+val flag : ?syn:bool -> ?ack:bool -> ?fin:bool -> ?rst:bool -> ?psh:bool -> ?urg:bool -> unit -> flags
+
+type option_ =
+  | Mss of int
+  | Wscale of int
+  | Timestamps of { tsval : int; tsecr : int }
+  | Unknown_option of int
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : Tcp_seq.t;
+  ack : Tcp_seq.t;
+  flags : flags;
+  window : int;
+  options : option_ list;
+}
+
+val base_header_len : int
+(** 20 bytes, before options. *)
+
+val header_len : header -> int
+(** With options, padded to 4 bytes. *)
+
+val build :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> header -> payload:bytes -> bytes
+(** Segment bytes including checksum over the pseudo-header. *)
+
+val parse :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> bytes -> off:int -> len:int ->
+  (header * int, string) result
+(** Validates the checksum; returns the header and payload offset. *)
+
+val find_mss : header -> int option
+val find_timestamps : header -> (int * int) option
+val find_wscale : header -> int option
+val pp_header : Format.formatter -> header -> unit

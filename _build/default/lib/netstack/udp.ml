@@ -1,0 +1,44 @@
+type header = { src_port : int; dst_port : int; length : int }
+
+let header_len = 8
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let build ~src ~dst ~src_port ~dst_port ~payload =
+  let len = header_len + Bytes.length payload in
+  let b = Bytes.create len in
+  set_u16 b 0 src_port;
+  set_u16 b 2 dst_port;
+  set_u16 b 4 len;
+  set_u16 b 6 0;
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Udp ~len in
+  let csum = Checksum.compute ~init b ~off:0 ~len in
+  (* RFC 768: a computed zero checksum is transmitted as 0xffff. *)
+  set_u16 b 6 (if csum = 0 then 0xffff else csum);
+  b
+
+let parse ~src ~dst b ~off ~len =
+  if len < header_len then Error "udp: truncated"
+  else begin
+    let length = get_u16 b (off + 4) in
+    if length < header_len || length > len then Error "udp: bad length"
+    else begin
+      let csum = get_u16 b (off + 6) in
+      let ok =
+        csum = 0
+        ||
+        let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Udp ~len:length in
+        Checksum.compute ~init b ~off ~len:length = 0
+      in
+      if not ok then Error "udp: bad checksum"
+      else
+        Ok
+          ( { src_port = get_u16 b off; dst_port = get_u16 b (off + 2); length },
+            off + header_len )
+    end
+  end

@@ -1,0 +1,17 @@
+(** UDP (RFC 768). *)
+
+type header = { src_port : int; dst_port : int; length : int }
+
+val header_len : int
+(** 8 bytes. *)
+
+val build :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> src_port:int -> dst_port:int ->
+  payload:bytes -> bytes
+(** Datagram with checksum over the pseudo-header. *)
+
+val parse :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> bytes -> off:int -> len:int ->
+  (header * int, string) result
+(** Validates length and (when non-zero) checksum; returns header and
+    payload offset. *)

@@ -1,0 +1,1 @@
+lib/nic/igb.ml: Array Bytes Cheri Dsim Link List Mac_addr Pci_bus Port_stats Printf Queue

@@ -1,0 +1,1 @@
+lib/nic/igb.mli: Cheri Dsim Link Mac_addr Pci_bus Port_stats

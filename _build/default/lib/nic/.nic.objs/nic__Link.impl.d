@@ -1,0 +1,1 @@
+lib/nic/link.ml: Bytes Dsim

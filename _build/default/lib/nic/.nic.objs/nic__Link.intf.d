@@ -1,0 +1,1 @@
+lib/nic/link.mli: Dsim

@@ -1,0 +1,1 @@
+lib/nic/mac_addr.ml: Bytes Char Format Hashtbl Printf String

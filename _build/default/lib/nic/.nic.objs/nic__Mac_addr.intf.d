@@ -1,0 +1,1 @@
+lib/nic/mac_addr.mli: Format

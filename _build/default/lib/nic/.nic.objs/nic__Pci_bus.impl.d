@@ -1,0 +1,1 @@
+lib/nic/pci_bus.ml: Dsim

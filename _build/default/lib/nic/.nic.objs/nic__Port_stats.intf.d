@@ -1,0 +1,1 @@
+lib/nic/port_stats.mli: Format

@@ -1,0 +1,182 @@
+type rx_desc = { rx_addr : int; rx_len : int }
+type tx_req = { tx_addr : int; tx_len : int }
+
+type port = {
+  index : int;
+  mac : Mac_addr.t;
+  engine : Dsim.Engine.t;
+  mem : Cheri.Tagged_memory.t;
+  bus : Pci_bus.t;
+  rx_ring_size : int;
+  tx_ring_size : int;
+  rx_free : rx_desc Queue.t;
+  rx_done : (int * int) Queue.t;
+  tx_pending : tx_req Queue.t;
+  tx_done : int Queue.t;
+  mutable tx_inflight : int;
+  mutable dma_cap : Cheri.Capability.t;
+  mutable wire : (Link.t * Link.endpoint) option;
+  mutable promisc : bool;
+  stats : Port_stats.t;
+}
+
+type t = { ports : port array }
+
+let create engine mem ~bus ~macs ?(rx_ring_size = 512) ?(tx_ring_size = 1024) ()
+    =
+  let make_port index mac =
+    {
+      index;
+      mac;
+      engine;
+      mem;
+      bus;
+      rx_ring_size;
+      tx_ring_size;
+      rx_free = Queue.create ();
+      rx_done = Queue.create ();
+      tx_pending = Queue.create ();
+      tx_done = Queue.create ();
+      tx_inflight = 0;
+      dma_cap = Cheri.Capability.null;
+      wire = None;
+      promisc = false;
+      stats = Port_stats.create ();
+    }
+  in
+  { ports = Array.of_list (List.mapi make_port macs) }
+
+let num_ports t = Array.length t.ports
+
+let port t i =
+  if i < 0 || i >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Igb.port: no port %d" i);
+  t.ports.(i)
+
+let port_index p = p.index
+let mac p = p.mac
+let stats p = p.stats
+let set_dma_cap p cap = p.dma_cap <- cap
+let set_promisc p b = p.promisc <- b
+
+(* --- transmit engine ---------------------------------------------------
+
+   The two stages pipeline across descriptors like real hardware: the
+   PCI bus serialises DMA reads (its busy horizon), the MAC serialises
+   frames on the wire (the link's busy horizon) — so descriptor N+1's
+   DMA overlaps descriptor N's transmission. *)
+
+let kick_tx p =
+  while not (Queue.is_empty p.tx_pending) do
+    let req = Queue.pop p.tx_pending in
+    let now = Dsim.Engine.now p.engine in
+    let dma_done =
+      Pci_bus.reserve p.bus From_memory ~now ~bytes:req.tx_len
+    in
+    ignore
+      (Dsim.Engine.schedule_at p.engine ~at:dma_done (fun () ->
+           let frame = Bytes.create req.tx_len in
+           Cheri.Tagged_memory.blit_out p.mem ~cap:p.dma_cap ~addr:req.tx_addr
+             ~dst:frame ~dst_off:0 ~len:req.tx_len;
+           let tx_done_at =
+             match p.wire with
+             | Some (link, ep) -> Link.transmit link ~from:ep ~frame
+             | None -> Dsim.Engine.now p.engine
+           in
+           ignore
+             (Dsim.Engine.schedule_at p.engine ~at:tx_done_at (fun () ->
+                  p.stats.tx_packets <- p.stats.tx_packets + 1;
+                  p.stats.tx_bytes <- p.stats.tx_bytes + req.tx_len;
+                  Queue.push req.tx_addr p.tx_done))))
+  done
+
+let tx_enqueue p ~addr ~len =
+  if len <= 0 then invalid_arg "Igb.tx_enqueue: empty frame";
+  if p.tx_inflight >= p.tx_ring_size then begin
+    p.stats.tx_ring_full <- p.stats.tx_ring_full + 1;
+    false
+  end
+  else begin
+    (* Validate the descriptor against the bus-master window eagerly, at
+       the doorbell: a misprogrammed DMA address faults the caller, it
+       does not corrupt memory later. *)
+    Cheri.Capability.check_access p.dma_cap Load ~addr ~len;
+    p.tx_inflight <- p.tx_inflight + 1;
+    Queue.push { tx_addr = addr; tx_len = len } p.tx_pending;
+    kick_tx p;
+    true
+  end
+
+let tx_reap p ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty p.tx_done then List.rev acc
+    else begin
+      let addr = Queue.pop p.tx_done in
+      p.tx_inflight <- p.tx_inflight - 1;
+      take (n - 1) (addr :: acc)
+    end
+  in
+  take max []
+
+let tx_in_flight p = p.tx_inflight
+
+(* --- receive path ---------------------------------------------------- *)
+
+let dst_mac_of frame =
+  if Bytes.length frame >= 6 then Some (Mac_addr.of_bytes_exn (Bytes.sub_string frame 0 6))
+  else None
+
+let accepts p frame =
+  p.promisc
+  ||
+  match dst_mac_of frame with
+  | None -> false
+  | Some dst -> Mac_addr.equal dst p.mac || Mac_addr.is_broadcast dst || Mac_addr.is_multicast dst
+
+let deliver p frame =
+  let len = Bytes.length frame in
+  if not (accepts p frame) then p.stats.rx_filtered <- p.stats.rx_filtered + 1
+  else if Queue.is_empty p.rx_free then
+    p.stats.rx_no_desc <- p.stats.rx_no_desc + 1
+  else begin
+    let desc = Queue.peek p.rx_free in
+    if desc.rx_len < len then
+      (* Buffer too small for the frame; hardware would chain
+         descriptors, our driver always posts MTU-sized buffers so this
+         only happens on misconfiguration. Count it as a drop. *)
+      p.stats.rx_no_desc <- p.stats.rx_no_desc + 1
+    else begin
+      ignore (Queue.pop p.rx_free);
+      let now = Dsim.Engine.now p.engine in
+      let dma_done = Pci_bus.reserve p.bus To_memory ~now ~bytes:len in
+      ignore
+        (Dsim.Engine.schedule_at p.engine ~at:dma_done (fun () ->
+             Cheri.Tagged_memory.blit_in p.mem ~cap:p.dma_cap ~addr:desc.rx_addr
+               ~src:frame ~src_off:0 ~len;
+             p.stats.rx_packets <- p.stats.rx_packets + 1;
+             p.stats.rx_bytes <- p.stats.rx_bytes + len;
+             Queue.push (desc.rx_addr, len) p.rx_done))
+    end
+  end
+
+let connect p link ep =
+  p.wire <- Some (link, ep);
+  Link.attach link ep (fun frame -> deliver p frame)
+
+let rx_refill p ~addr ~len =
+  if Queue.length p.rx_free >= p.rx_ring_size then false
+  else begin
+    Cheri.Capability.check_access p.dma_cap Store ~addr ~len;
+    Queue.push { rx_addr = addr; rx_len = len } p.rx_free;
+    true
+  end
+
+let rx_burst p ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty p.rx_done then List.rev acc
+    else take (n - 1) (Queue.pop p.rx_done :: acc)
+  in
+  take max []
+
+let rx_pending p = Queue.length p.rx_done
+let rx_free_slots p = p.rx_ring_size - Queue.length p.rx_free

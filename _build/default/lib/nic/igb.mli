@@ -1,0 +1,76 @@
+(** Simulated Intel 82576-class dual-port Gigabit NIC.
+
+    The device side of the poll-mode driver contract:
+
+    - the driver hands empty receive buffers to a port ({!rx_refill})
+      and later collects filled ones ({!rx_burst});
+    - the driver enqueues transmit buffers ({!tx_enqueue}, the doorbell)
+      and reaps completed ones ({!tx_reap});
+    - the device moves packet bytes between simulated tagged memory and
+      the wire with DMA transfers that are (a) serialised on the shared
+      {!Pci_bus} and (b) authorised by the {e bus-master capability}
+      installed at configuration time — the "detach from kernel, map
+      with correct permission flags" step the paper implemented for
+      DPDK/Morello.
+
+    Ring occupancy is bounded like the hardware's descriptor rings;
+    overflow drops (RX) or refusals (TX) are counted in {!Port_stats}. *)
+
+type t
+type port
+
+val create :
+  Dsim.Engine.t ->
+  Cheri.Tagged_memory.t ->
+  bus:Pci_bus.t ->
+  macs:Mac_addr.t list ->
+  ?rx_ring_size:int ->
+  ?tx_ring_size:int ->
+  unit ->
+  t
+(** One port per MAC in [macs] (the 82576 has two). Default ring sizes
+    follow common DPDK igb configuration (512 RX / 1024 TX). *)
+
+val num_ports : t -> int
+val port : t -> int -> port
+(** @raise Invalid_argument on a bad index. *)
+
+val port_index : port -> int
+val mac : port -> Mac_addr.t
+val stats : port -> Port_stats.t
+
+val set_dma_cap : port -> Cheri.Capability.t -> unit
+(** Install the bus-master window. All DMA is checked against it; DMA
+    outside raises {!Cheri.Fault.Capability_fault} at the driver's
+    doorbell/refill call site. *)
+
+val set_promisc : port -> bool -> unit
+
+val connect : port -> Link.t -> Link.endpoint -> unit
+(** Attach the port to its wire end and install the receive path. *)
+
+val deliver : port -> bytes -> unit
+(** Frame arriving from the wire (used by {!connect}; exposed so tests
+    can inject frames without a link). *)
+
+(** {1 Driver-facing descriptor operations} *)
+
+val rx_refill : port -> addr:int -> len:int -> bool
+(** Give the device an empty buffer; [false] when the RX ring is full. *)
+
+val rx_burst : port -> max:int -> (int * int) list
+(** Completed receives as [(buffer_addr, packet_len)], oldest first. *)
+
+val rx_pending : port -> int
+(** Completed-but-not-collected receives. *)
+
+val rx_free_slots : port -> int
+
+val tx_enqueue : port -> addr:int -> len:int -> bool
+(** Doorbell: packet at [addr..addr+len) is ready; [false] (and a
+    counter bump) when the TX ring is full. *)
+
+val tx_reap : port -> max:int -> int list
+(** Buffer addresses whose transmission fully completed. *)
+
+val tx_in_flight : port -> int

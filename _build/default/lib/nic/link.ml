@@ -1,0 +1,57 @@
+type endpoint = A | B
+
+type dir_state = {
+  mutable busy_until : Dsim.Time.t;
+  mutable handler : (bytes -> unit) option;  (* receiver at the far end *)
+  mutable carried : int;
+}
+
+type t = {
+  engine : Dsim.Engine.t;
+  bps : float;
+  prop_delay : Dsim.Time.t;
+  a_to_b : dir_state;
+  b_to_a : dir_state;
+  mutable dropped : int;
+  mutable up : bool;
+}
+
+let overhead_bytes = 24
+
+let create engine ?(bps = 1e9) ?(prop_delay = Dsim.Time.ns 500) () =
+  let dir () = { busy_until = Dsim.Time.zero; handler = None; carried = 0 } in
+  { engine; bps; prop_delay; a_to_b = dir (); b_to_a = dir (); dropped = 0; up = true }
+
+(* [attach t A f] installs the handler for frames arriving AT endpoint A,
+   i.e. frames travelling B->A. *)
+let attach t ep f =
+  match ep with
+  | A -> t.b_to_a.handler <- Some f
+  | B -> t.a_to_b.handler <- Some f
+
+let dir_of t = function A -> t.a_to_b | B -> t.b_to_a
+
+let transmit t ~from ~frame =
+  let d = dir_of t from in
+  let now = Dsim.Engine.now t.engine in
+  let wire_bytes = Bytes.length frame + overhead_bytes in
+  let start = Dsim.Time.max now d.busy_until in
+  let ser = Dsim.Time.of_float_ns (float_of_int wire_bytes *. 8. /. t.bps *. 1e9) in
+  let tx_done = Dsim.Time.add start ser in
+  d.busy_until <- tx_done;
+  d.carried <- d.carried + wire_bytes;
+  let arrival = Dsim.Time.add tx_done t.prop_delay in
+  let deliver () =
+    if t.up then
+      match d.handler with
+      | Some f -> f frame
+      | None -> t.dropped <- t.dropped + 1
+    else t.dropped <- t.dropped + 1
+  in
+  ignore (Dsim.Engine.schedule_at t.engine ~at:arrival deliver);
+  tx_done
+
+let carried_bytes t ~from = (dir_of t from).carried
+let dropped t = t.dropped
+let up t = t.up
+let set_up t b = t.up <- b

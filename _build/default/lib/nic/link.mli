@@ -1,0 +1,37 @@
+(** Full-duplex point-to-point Ethernet link.
+
+    Models MAC serialization at line rate plus wire propagation. Each
+    direction is independent (full duplex); frames in one direction are
+    serialised back to back with the standard 20 bytes of preamble +
+    inter-frame gap and 4 bytes of FCS accounted on the wire.
+
+    A link has two endpoints, [A] and [B]; devices attach a delivery
+    callback to their end and transmit towards the other. *)
+
+type t
+type endpoint = A | B
+
+val overhead_bytes : int
+(** Per-frame wire overhead beyond the frame buffer: preamble (8) +
+    inter-frame gap (12) + FCS (4) = 24. *)
+
+val create :
+  Dsim.Engine.t -> ?bps:float -> ?prop_delay:Dsim.Time.t -> unit -> t
+
+val attach : t -> endpoint -> (bytes -> unit) -> unit
+(** Install the receive handler for frames arriving at this end. *)
+
+val transmit : t -> from:endpoint -> frame:bytes -> Dsim.Time.t
+(** Serialise [frame] out of [from]'s MAC starting no earlier than now;
+    deliver to the opposite endpoint's handler after propagation.
+    Returns the time the last bit leaves the MAC (i.e. when the TX
+    descriptor can complete). Frames to an endpoint with no handler are
+    counted as dropped. *)
+
+val carried_bytes : t -> from:endpoint -> int
+(** Wire bytes (incl. overhead) sent from this endpoint; diagnostics. *)
+
+val dropped : t -> int
+val up : t -> bool
+val set_up : t -> bool -> unit
+(** An administratively-down link drops all frames (fault injection). *)

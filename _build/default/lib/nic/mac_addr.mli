@@ -1,0 +1,23 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+
+val of_bytes_exn : string -> t
+(** From 6 raw bytes. @raise Invalid_argument on wrong length. *)
+
+val of_string_exn : string -> t
+(** Parse ["aa:bb:cc:dd:ee:ff"]. @raise Invalid_argument on syntax. *)
+
+val make : int -> int -> int -> int -> int -> int -> t
+val broadcast : t
+val zero : t
+val is_broadcast : t -> bool
+val is_multicast : t -> bool
+val to_bytes : t -> string
+(** 6 raw bytes, network order. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,35 @@
+type t = {
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable rx_packets : int;
+  mutable rx_bytes : int;
+  mutable rx_no_desc : int;
+  mutable rx_filtered : int;
+  mutable tx_ring_full : int;
+}
+
+let create () =
+  {
+    tx_packets = 0;
+    tx_bytes = 0;
+    rx_packets = 0;
+    rx_bytes = 0;
+    rx_no_desc = 0;
+    rx_filtered = 0;
+    tx_ring_full = 0;
+  }
+
+let reset t =
+  t.tx_packets <- 0;
+  t.tx_bytes <- 0;
+  t.rx_packets <- 0;
+  t.rx_bytes <- 0;
+  t.rx_no_desc <- 0;
+  t.rx_filtered <- 0;
+  t.tx_ring_full <- 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "tx=%d pkts/%d B rx=%d pkts/%d B drops(no_desc=%d filtered=%d ring_full=%d)"
+    t.tx_packets t.tx_bytes t.rx_packets t.rx_bytes t.rx_no_desc t.rx_filtered
+    t.tx_ring_full

@@ -1,0 +1,1 @@
+test/test_capvm.ml: Alcotest Buffer Bytes Capvm Char Cheri Dsim Gen List QCheck QCheck_alcotest

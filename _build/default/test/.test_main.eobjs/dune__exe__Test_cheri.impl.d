@@ -1,0 +1,1 @@
+test/test_cheri.ml: Alcotest Bytes Cheri Format Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring_contains Cheri Core Dsim Float List Printf String

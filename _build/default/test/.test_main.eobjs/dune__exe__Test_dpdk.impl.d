@@ -1,0 +1,1 @@
+test/test_dpdk.ml: Alcotest Bytes Cheri Dpdk Dsim List Nic Option

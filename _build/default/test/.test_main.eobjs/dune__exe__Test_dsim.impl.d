@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Dsim Float Format Gen Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Buffer Bytes Capvm Char Core Dpdk Dsim Errno Ethernet Ipv4 Ipv4_addr List Netstack Nic Stack String Tcp_wire

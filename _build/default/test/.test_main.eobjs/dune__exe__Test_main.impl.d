@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_capvm Test_cheri Test_core Test_dpdk Test_dsim Test_faults Test_mavlink Test_nic Test_stack Test_tcp Test_wire

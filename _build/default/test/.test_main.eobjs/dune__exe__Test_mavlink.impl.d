@@ -1,0 +1,1 @@
+test/test_mavlink.ml: Alcotest Astring_contains Bytes Char Cheri Core Format Gen List QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bytes Cheri Dsim Int64 List Nic String

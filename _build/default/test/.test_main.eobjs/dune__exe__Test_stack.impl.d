@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Buffer Bytes Capture Capvm Char Cheri Core Dsim Epoll Errno Ff_api Ipv4_addr List Netstack Stack String

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Bytes Char Dsim Format Int64 Ipv4_addr List Netstack QCheck QCheck_alcotest Queue Ring_buf String Tcp_cb Tcp_input Tcp_output Tcp_seq Tcp_timer Tcp_wire

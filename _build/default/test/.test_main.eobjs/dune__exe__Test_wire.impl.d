@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Buffer Bytes Char Dsim Format List Netstack Nic QCheck QCheck_alcotest Queue Result

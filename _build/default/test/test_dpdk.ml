@@ -1,0 +1,258 @@
+(* Tests for the DPDK layer: EAL, mbuf pools, kernel detach, ethdev. *)
+
+let make_eal ?(size = 0x100000) () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:(size * 2) in
+  let region = Cheri.Capability.root ~base:0 ~length:size ~perms:Cheri.Perms.all in
+  (engine, mem, Dpdk.Eal.create engine mem ~region)
+
+(* ------------------------------------------------------------------ *)
+(* EAL                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eal_memzones () =
+  let _, _, eal = make_eal () in
+  let z = Dpdk.Eal.memzone_reserve eal ~name:"ring" ~size:0x1000 in
+  Alcotest.(check int) "zone size" 0x1000 (Cheri.Capability.length z);
+  (match Dpdk.Eal.memzone_lookup eal ~name:"ring" with
+  | Some z' -> Alcotest.(check bool) "lookup finds it" true (Cheri.Capability.equal z z')
+  | None -> Alcotest.fail "zone not found");
+  Alcotest.(check (option reject)) "unknown zone" None
+    (Dpdk.Eal.memzone_lookup eal ~name:"nope");
+  Alcotest.(check bool) "duplicate name rejected" true
+    (match Dpdk.Eal.memzone_reserve eal ~name:"ring" ~size:16 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let eal_oom () =
+  let _, _, eal = make_eal ~size:0x1000 () in
+  Alcotest.(check bool) "oom" true
+    (match Dpdk.Eal.memzone_reserve eal ~name:"big" ~size:0x10000 with
+    | _ -> false
+    | exception Out_of_memory -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Mbuf                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_pool ?(n = 4) ?(buf_len = 2048) () =
+  let _, mem, eal = make_eal () in
+  (mem, Dpdk.Mbuf.pool_create eal ~name:"test" ~n ~buf_len ())
+
+let mbuf_pool_lifecycle () =
+  let _, pool = make_pool () in
+  Alcotest.(check int) "capacity" 4 (Dpdk.Mbuf.capacity pool);
+  Alcotest.(check int) "all available" 4 (Dpdk.Mbuf.available pool);
+  let m1 = Option.get (Dpdk.Mbuf.alloc pool) in
+  Alcotest.(check int) "one taken" 3 (Dpdk.Mbuf.available pool);
+  Dpdk.Mbuf.free m1;
+  Alcotest.(check int) "returned" 4 (Dpdk.Mbuf.available pool)
+
+let mbuf_exhaustion () =
+  let _, pool = make_pool ~n:2 () in
+  let m1 = Option.get (Dpdk.Mbuf.alloc pool) in
+  let _m2 = Option.get (Dpdk.Mbuf.alloc pool) in
+  Alcotest.(check bool) "exhausted" true (Dpdk.Mbuf.alloc pool = None);
+  Dpdk.Mbuf.free m1;
+  Alcotest.(check bool) "available again" true (Dpdk.Mbuf.alloc pool <> None)
+
+let mbuf_double_free () =
+  let _, pool = make_pool () in
+  let m = Option.get (Dpdk.Mbuf.alloc pool) in
+  Dpdk.Mbuf.free m;
+  Alcotest.(check bool) "double free raises" true
+    (match Dpdk.Mbuf.free m with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let mbuf_geometry () =
+  let _, pool = make_pool () in
+  let m = Option.get (Dpdk.Mbuf.alloc pool) in
+  Alcotest.(check int) "headroom" 128 (Dpdk.Mbuf.headroom m);
+  Alcotest.(check int) "empty" 0 (Dpdk.Mbuf.data_len m);
+  Alcotest.(check int) "tailroom" (2048 - 128) (Dpdk.Mbuf.tailroom m);
+  let addr = Dpdk.Mbuf.append m 100 in
+  Alcotest.(check int) "append address" (Dpdk.Mbuf.buf_addr m + 128) addr;
+  Alcotest.(check int) "data grows" 100 (Dpdk.Mbuf.data_len m);
+  let addr2 = Dpdk.Mbuf.prepend m 14 in
+  Alcotest.(check int) "prepend into headroom" (Dpdk.Mbuf.buf_addr m + 114) addr2;
+  Alcotest.(check int) "data includes header" 114 (Dpdk.Mbuf.data_len m);
+  Dpdk.Mbuf.adj m 14;
+  Alcotest.(check int) "adj strips head" 100 (Dpdk.Mbuf.data_len m);
+  Dpdk.Mbuf.trim m 50;
+  Alcotest.(check int) "trim strips tail" 50 (Dpdk.Mbuf.data_len m);
+  Dpdk.Mbuf.reset m;
+  Alcotest.(check int) "reset restores" 0 (Dpdk.Mbuf.data_len m);
+  Alcotest.(check int) "reset headroom" 128 (Dpdk.Mbuf.headroom m)
+
+let mbuf_geometry_errors () =
+  let _, pool = make_pool ~buf_len:256 () in
+  let m = Option.get (Dpdk.Mbuf.alloc pool) in
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  expect_invalid "append beyond tailroom" (fun () -> Dpdk.Mbuf.append m 1000);
+  expect_invalid "prepend beyond headroom" (fun () -> Dpdk.Mbuf.prepend m 200);
+  expect_invalid "trim beyond data" (fun () -> Dpdk.Mbuf.trim m 1);
+  expect_invalid "adj beyond data" (fun () -> Dpdk.Mbuf.adj m 1)
+
+let mbuf_payload_io () =
+  let mem, pool = make_pool () in
+  let m = Option.get (Dpdk.Mbuf.alloc pool) in
+  ignore (Dpdk.Mbuf.append m 32);
+  Dpdk.Mbuf.write mem m ~off:0 (Bytes.of_string "hello mbuf");
+  Alcotest.(check string) "read back" "hello mbuf"
+    (Bytes.to_string (Dpdk.Mbuf.read mem m ~off:0 ~len:10));
+  Alcotest.(check int) "contents whole region" 32
+    (Bytes.length (Dpdk.Mbuf.contents mem m));
+  Alcotest.(check bool) "write outside data region" true
+    (match Dpdk.Mbuf.write mem m ~off:30 (Bytes.of_string "xyz") with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let mbuf_caps_are_buffer_bounded () =
+  let _, pool = make_pool () in
+  let m = Option.get (Dpdk.Mbuf.alloc pool) in
+  let cap = Dpdk.Mbuf.cap m in
+  Alcotest.(check int) "cap base" (Dpdk.Mbuf.buf_addr m) (Cheri.Capability.base cap);
+  Alcotest.(check int) "cap length" (Dpdk.Mbuf.buf_len m) (Cheri.Capability.length cap);
+  Alcotest.(check bool) "no capability transfer rights" false
+    (Cheri.Capability.perms cap).Cheri.Perms.store_cap
+
+(* ------------------------------------------------------------------ *)
+(* Igb_uio                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let uio_bind_narrows () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:0x10000 in
+  let bus = Nic.Pci_bus.create () in
+  let dev =
+    Nic.Igb.create engine mem ~bus ~macs:[ Nic.Mac_addr.make 2 0 0 0 0 1 ] ()
+  in
+  let port = Nic.Igb.port dev 0 in
+  let window = Cheri.Capability.root ~base:0x1000 ~length:0x1000 ~perms:Cheri.Perms.all in
+  let binding = Dpdk.Igb_uio.bind port ~dma_window:window in
+  Alcotest.(check int) "window base" 0x1000 binding.Dpdk.Igb_uio.window_base;
+  Alcotest.(check int) "window length" 0x1000 binding.Dpdk.Igb_uio.window_len;
+  (* After binding, refills inside the window work... *)
+  Alcotest.(check bool) "dma inside works" true
+    (Nic.Igb.rx_refill port ~addr:0x1000 ~len:0x800);
+  (* ...and the device cannot move capabilities even inside it: the
+     installed capability must have lost store_cap/load_cap. *)
+  Dpdk.Igb_uio.unbind port;
+  Alcotest.(check bool) "unbound device faults" true
+    (match Nic.Igb.rx_refill port ~addr:0x1000 ~len:0x800 with
+    | _ -> false
+    | exception Cheri.Fault.Capability_fault _ -> true)
+
+let uio_bind_requires_rw () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:0x10000 in
+  let bus = Nic.Pci_bus.create () in
+  let dev =
+    Nic.Igb.create engine mem ~bus ~macs:[ Nic.Mac_addr.make 2 0 0 0 0 1 ] ()
+  in
+  let port = Nic.Igb.port dev 0 in
+  let ro = Cheri.Capability.root ~base:0 ~length:0x1000 ~perms:Cheri.Perms.read_only in
+  Alcotest.(check bool) "read-only window rejected" true
+    (match Dpdk.Igb_uio.bind port ~dma_window:ro with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Eth_dev end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_pair () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:0x400000 in
+  let region = Cheri.Capability.root ~base:0 ~length:0x400000 ~perms:Cheri.Perms.all in
+  let eal = Dpdk.Eal.create engine mem ~region in
+  let bus = Nic.Pci_bus.create () in
+  let macs = [ Nic.Mac_addr.make 2 0 0 0 0 1; Nic.Mac_addr.make 2 0 0 0 0 2 ] in
+  let nic = Nic.Igb.create engine mem ~bus ~macs ~rx_ring_size:32 ~tx_ring_size:32 () in
+  let link = Nic.Link.create engine () in
+  let setup idx ep name =
+    let port = Nic.Igb.port nic idx in
+    Nic.Igb.connect port link ep;
+    let pool = Dpdk.Mbuf.pool_create eal ~name ~n:128 ~buf_len:2048 () in
+    let zone = Option.get (Dpdk.Eal.memzone_lookup eal ~name:("mbuf-" ^ name)) in
+    ignore (Dpdk.Igb_uio.bind port ~dma_window:zone);
+    let dev = Dpdk.Eth_dev.attach eal port ~rx_pool:pool in
+    Dpdk.Eth_dev.start dev;
+    dev
+  in
+  let a = setup 0 Nic.Link.A "a" and b = setup 1 Nic.Link.B "b" in
+  (engine, mem, a, b)
+
+let ethdev_burst_roundtrip () =
+  let engine, mem, a, b = make_pair () in
+  (* Build a frame addressed to port b in an mbuf from a's pool. *)
+  let pool_a = Dpdk.Eth_dev.rx_pool a in
+  let m = Option.get (Dpdk.Mbuf.alloc pool_a) in
+  ignore (Dpdk.Mbuf.append m 80);
+  let frame = Bytes.make 80 '\000' in
+  Bytes.blit_string
+    (Nic.Mac_addr.to_bytes (Nic.Igb.mac (Dpdk.Eth_dev.port b)))
+    0 frame 0 6;
+  Bytes.blit_string "dpdk-data" 0 frame 14 9;
+  Dpdk.Mbuf.write mem m ~off:0 frame;
+  Alcotest.(check (list reject)) "all accepted" [] (Dpdk.Eth_dev.tx_burst a [ m ]);
+  Dsim.Engine.run_until_quiet engine;
+  (match Dpdk.Eth_dev.rx_burst b ~max:8 with
+  | [ rx ] ->
+    Alcotest.(check int) "length" 80 (Dpdk.Mbuf.data_len rx);
+    Alcotest.(check string) "payload" (Bytes.to_string frame)
+      (Bytes.to_string (Dpdk.Mbuf.contents mem rx));
+    Dpdk.Mbuf.free rx
+  | l -> Alcotest.failf "expected one frame, got %d" (List.length l));
+  (* TX buffer recycled back to a's pool after reap. *)
+  Dpdk.Eth_dev.reap a;
+  Alcotest.(check int) "a pool back to full minus posted ring" (128 - 32)
+    (Dpdk.Mbuf.available pool_a)
+
+let ethdev_restock () =
+  let engine, _mem, a, b = make_pair () in
+  (* Exhaust b's RX by sending many frames and holding the mbufs. *)
+  let pool_a = Dpdk.Eth_dev.rx_pool a in
+  let dst = Nic.Mac_addr.to_bytes (Nic.Igb.mac (Dpdk.Eth_dev.port b)) in
+  for _ = 1 to 10 do
+    let m = Option.get (Dpdk.Mbuf.alloc pool_a) in
+    ignore (Dpdk.Mbuf.append m 64);
+    let f = Bytes.make 64 '\000' in
+    Bytes.blit_string dst 0 f 0 6;
+    Dpdk.Mbuf.write _mem m ~off:0 f;
+    ignore (Dpdk.Eth_dev.tx_burst a [ m ])
+  done;
+  Dsim.Engine.run_until_quiet engine;
+  let got = Dpdk.Eth_dev.rx_burst b ~max:16 in
+  Alcotest.(check int) "all ten received" 10 (List.length got);
+  (* The ring was restocked during the burst; more traffic still flows. *)
+  let m = Option.get (Dpdk.Mbuf.alloc pool_a) in
+  ignore (Dpdk.Mbuf.append m 64);
+  let f = Bytes.make 64 '\000' in
+  Bytes.blit_string dst 0 f 0 6;
+  Dpdk.Mbuf.write _mem m ~off:0 f;
+  ignore (Dpdk.Eth_dev.tx_burst a [ m ]);
+  Dsim.Engine.run_until_quiet engine;
+  Alcotest.(check int) "ring restocked" 1 (List.length (Dpdk.Eth_dev.rx_burst b ~max:4));
+  List.iter Dpdk.Mbuf.free got
+
+let suite =
+  [
+    Alcotest.test_case "eal: memzones" `Quick eal_memzones;
+    Alcotest.test_case "eal: out of memory" `Quick eal_oom;
+    Alcotest.test_case "mbuf: pool lifecycle" `Quick mbuf_pool_lifecycle;
+    Alcotest.test_case "mbuf: exhaustion back-pressure" `Quick mbuf_exhaustion;
+    Alcotest.test_case "mbuf: double free" `Quick mbuf_double_free;
+    Alcotest.test_case "mbuf: geometry operations" `Quick mbuf_geometry;
+    Alcotest.test_case "mbuf: geometry errors" `Quick mbuf_geometry_errors;
+    Alcotest.test_case "mbuf: payload I/O" `Quick mbuf_payload_io;
+    Alcotest.test_case "mbuf: capabilities buffer-bounded" `Quick mbuf_caps_are_buffer_bounded;
+    Alcotest.test_case "igb_uio: bind narrows DMA window" `Quick uio_bind_narrows;
+    Alcotest.test_case "igb_uio: requires load+store" `Quick uio_bind_requires_rw;
+    Alcotest.test_case "ethdev: burst roundtrip + recycle" `Quick ethdev_burst_roundtrip;
+    Alcotest.test_case "ethdev: ring restocking" `Quick ethdev_restock;
+  ]

@@ -1,0 +1,254 @@
+(* Failure injection and robustness: garbage from the wire, link flaps,
+   pool exhaustion — the stack must degrade gracefully, never crash. *)
+
+open Netstack
+
+let ip_left = Ipv4_addr.make 192 168 1 1
+let ip_right = Ipv4_addr.make 192 168 1 2
+
+type world = {
+  engine : Dsim.Engine.t;
+  link : Nic.Link.t;
+  lnif : Core.Topology.netif;
+  rnif : Core.Topology.netif;
+  lnode : Core.Topology.node;
+  rnode : Core.Topology.node;
+}
+
+let make_world () =
+  let engine = Dsim.Engine.create () in
+  let lnode = Core.Topology.make_node engine ~name:"l" ~ports:1 () in
+  let rnode = Core.Topology.make_node engine ~name:"r" ~ports:1 () in
+  let link = Core.Topology.link engine lnode 0 rnode 0 in
+  let netif node ip seed =
+    let cvm =
+      Capvm.Intravisor.create_cvm (Core.Topology.intravisor node) ~name:"net"
+        ~size:(12 * 1024 * 1024)
+    in
+    let region = Capvm.Cvm.sub_region cvm ~size:Core.Topology.default_netif_region_size in
+    Core.Topology.make_netif node ~region ~port_idx:0 ~ip
+      ~stack_tuning:(fun c -> { c with Stack.rng_seed = seed })
+      ()
+  in
+  let lnif = netif lnode ip_left 11L and rnif = netif rnode ip_right 12L in
+  Stack.start lnif.Core.Topology.stack;
+  Stack.start rnif.Core.Topology.stack;
+  { engine; link; lnif; rnif; lnode; rnode }
+
+let run_for w d =
+  Dsim.Engine.run w.engine ~until:(Dsim.Time.add (Dsim.Engine.now w.engine) d)
+
+let get = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (Errno.to_string e)
+
+let connect_pair w =
+  let srv = w.rnif.Core.Topology.stack and cli = w.lnif.Core.Topology.stack in
+  let lfd = get (Stack.socket_stream srv) in
+  get (Stack.bind srv lfd ~port:5201);
+  get (Stack.listen srv lfd ~backlog:4);
+  let cfd = get (Stack.socket_stream cli) in
+  ignore (Stack.connect cli cfd ~ip:ip_right ~port:5201);
+  run_for w (Dsim.Time.ms 20);
+  let afd, _, _ = get (Stack.accept srv lfd) in
+  (cfd, afd)
+
+(* ------------------------------------------------------------------ *)
+
+(* Garbage frames addressed to the stack's MAC must be dropped and
+   counted, never raise. *)
+let fuzz_garbage_frames () =
+  let w = make_world () in
+  let port = Core.Topology.port w.lnode 0 in
+  let mac = Nic.Igb.mac port in
+  let rng = Dsim.Rng.create ~seed:99L in
+  for _ = 1 to 200 do
+    let len = 14 + Dsim.Rng.int rng 100 in
+    let frame = Bytes.init len (fun _ -> Char.chr (Dsim.Rng.int rng 256)) in
+    Bytes.blit_string (Nic.Mac_addr.to_bytes mac) 0 frame 0 6;
+    (* Random ethertype except sometimes claim IPv4/ARP to go deeper. *)
+    (match Dsim.Rng.int rng 3 with
+    | 0 ->
+      Bytes.set frame 12 '\x08';
+      Bytes.set frame 13 '\x00'
+    | 1 ->
+      Bytes.set frame 12 '\x08';
+      Bytes.set frame 13 '\x06'
+    | _ -> ());
+    Nic.Igb.deliver port frame;
+    run_for w (Dsim.Time.us 50)
+  done;
+  run_for w (Dsim.Time.ms 5);
+  let c = Stack.counters w.lnif.Core.Topology.stack in
+  Alcotest.(check bool) "frames were seen" true (c.Stack.rx_frames > 100);
+  Alcotest.(check bool) "garbage dropped, not crashed" true (c.Stack.rx_dropped > 0)
+
+(* Corrupt one byte of live TCP segments: checksums must catch it and
+   retransmission must repair the stream. *)
+let corruption_is_caught () =
+  let w = make_world () in
+  let cfd, afd = connect_pair w in
+  let cli = w.lnif.Core.Topology.stack and srv = w.rnif.Core.Topology.stack in
+  (* Interpose on the wire by re-attaching the receive handler with a
+     corrupting one. *)
+  let port = Core.Topology.port w.rnode 0 in
+  let rng = Dsim.Rng.create ~seed:7L in
+  Nic.Link.attach w.link Nic.Link.B (fun frame ->
+      let frame =
+        if Dsim.Rng.float rng 1.0 < 0.3 && Bytes.length frame > 40 then begin
+          let f = Bytes.copy frame in
+          let i = 20 + Dsim.Rng.int rng (Bytes.length f - 20) in
+          Bytes.set f i (Char.chr (Char.code (Bytes.get f i) lxor 0xFF));
+          f
+        end
+        else frame
+      in
+      Nic.Igb.deliver port frame);
+  let payload = String.init 40_000 (fun i -> Char.chr (i land 0xff)) in
+  let sent = ref 0 and received = Buffer.create 40_000 in
+  let rbuf = Bytes.create 8192 in
+  let budget = ref 4_000 in
+  while Buffer.length received < 40_000 && !budget > 0 do
+    decr budget;
+    (if !sent < 40_000 then
+       match
+         Stack.write cli cfd
+           ~buf:(Bytes.of_string payload)
+           ~off:!sent
+           ~len:(min 4096 (40_000 - !sent))
+       with
+       | Ok n -> sent := !sent + n
+       | Error _ -> ());
+    run_for w (Dsim.Time.ms 1);
+    match Stack.read srv afd ~buf:rbuf ~off:0 ~len:8192 with
+    | Ok n -> Buffer.add_subbytes received rbuf 0 n
+    | Error _ -> ()
+  done;
+  Alcotest.(check int) "stream complete despite corruption" 40_000
+    (Buffer.length received);
+  Alcotest.(check string) "byte exact" payload (Buffer.contents received);
+  Alcotest.(check bool) "corrupt segments were dropped" true
+    ((Stack.counters srv).Stack.rx_dropped > 0)
+
+(* Take the cable down mid-transfer; TCP retransmits after it returns. *)
+let link_flap_recovery () =
+  let w = make_world () in
+  let cfd, afd = connect_pair w in
+  let cli = w.lnif.Core.Topology.stack and srv = w.rnif.Core.Topology.stack in
+  ignore (Stack.write cli cfd ~buf:(Bytes.of_string "before-flap|") ~off:0 ~len:12);
+  run_for w (Dsim.Time.ms 5);
+  Nic.Link.set_up w.link false;
+  ignore (Stack.write cli cfd ~buf:(Bytes.of_string "during-flap|") ~off:0 ~len:12);
+  run_for w (Dsim.Time.ms 30);
+  let rbuf = Bytes.create 64 in
+  Alcotest.(check int) "only pre-flap data" 12 (get (Stack.read srv afd ~buf:rbuf ~off:0 ~len:64));
+  Nic.Link.set_up w.link true;
+  run_for w (Dsim.Time.ms 200);
+  let n = get (Stack.read srv afd ~buf:rbuf ~off:0 ~len:64) in
+  Alcotest.(check string) "flap data retransmitted" "during-flap|"
+    (Bytes.sub_string rbuf 0 n);
+  (* The connection itself survived. *)
+  ignore (Stack.write cli cfd ~buf:(Bytes.of_string "after") ~off:0 ~len:5);
+  run_for w (Dsim.Time.ms 10);
+  Alcotest.(check int) "still connected" 5 (get (Stack.read srv afd ~buf:rbuf ~off:0 ~len:64))
+
+(* Exhaust the mbuf pool: sends fail gracefully, recover on free. *)
+let pool_exhaustion_backpressure () =
+  let w = make_world () in
+  let cli = w.lnif.Core.Topology.stack in
+  let pool = Dpdk.Eth_dev.rx_pool w.lnif.Core.Topology.dev in
+  (* Steal every available buffer. *)
+  let stolen = ref [] in
+  let rec steal () =
+    match Dpdk.Mbuf.alloc pool with
+    | Some m ->
+      stolen := m :: !stolen;
+      steal ()
+    | None -> ()
+  in
+  steal ();
+  let before = (Stack.counters cli).Stack.tx_no_mbuf in
+  Stack.ping cli ~ip:ip_right ~ident:1 ~seq:1 ~payload:Bytes.empty;
+  Alcotest.(check bool) "send failed without buffers" true
+    ((Stack.counters cli).Stack.tx_no_mbuf > before);
+  List.iter Dpdk.Mbuf.free !stolen;
+  (* The dropped ARP request is rate-limited; wait out the hold-down
+     before retrying. *)
+  run_for w (Dsim.Time.ms 150);
+  Stack.ping cli ~ip:ip_right ~ident:1 ~seq:2 ~payload:Bytes.empty;
+  run_for w (Dsim.Time.ms 50);
+  Alcotest.(check bool) "recovered after free" true
+    (List.mem (1, 2) (Stack.pings_received cli))
+
+(* Random TCP segments against a live listener port: parser and state
+   machine must hold (no exceptions), and respond only with RST/ACKs. *)
+let fuzz_tcp_segments () =
+  let w = make_world () in
+  let srv = w.rnif.Core.Topology.stack in
+  let lfd = get (Stack.socket_stream srv) in
+  get (Stack.bind srv lfd ~port:5201);
+  get (Stack.listen srv lfd ~backlog:4);
+  let rng = Dsim.Rng.create ~seed:5L in
+  let port = Core.Topology.port w.rnode 0 in
+  let mac = Nic.Igb.mac port in
+  for _ = 1 to 100 do
+    (* Build a syntactically valid IP+TCP packet with random header
+       fields (valid checksums, arbitrary flags/seq). *)
+    let flags =
+      Tcp_wire.flag
+        ~syn:(Dsim.Rng.bool rng)
+        ~ack:(Dsim.Rng.bool rng)
+        ~fin:(Dsim.Rng.bool rng)
+        ~rst:(Dsim.Rng.bool rng)
+        ()
+    in
+    let hdr =
+      {
+        Tcp_wire.src_port = 1 + Dsim.Rng.int rng 65535;
+        dst_port = (if Dsim.Rng.bool rng then 5201 else Dsim.Rng.int rng 65536);
+        seq = Dsim.Rng.int rng 0x7FFFFFFF;
+        ack = Dsim.Rng.int rng 0x7FFFFFFF;
+        flags;
+        window = Dsim.Rng.int rng 0x10000;
+        options = [];
+      }
+    in
+    let payload = Bytes.create (Dsim.Rng.int rng 64) in
+    let seg = Tcp_wire.build ~src:ip_left ~dst:ip_right hdr ~payload in
+    let ip_hdr =
+      {
+        Ipv4.src = ip_left;
+        dst = ip_right;
+        protocol = Ipv4.Tcp;
+        ttl = 64;
+        ident = 0;
+        total_len = Ipv4.header_len + Bytes.length seg;
+      }
+    in
+    let pkt = Ipv4.build ip_hdr ~payload:seg in
+    let frame =
+      Ethernet.build
+        { Ethernet.dst = mac; src = Nic.Mac_addr.make 2 6 6 6 6 6; ethertype = Ethernet.Ipv4 }
+        ~payload:pkt
+    in
+    Nic.Igb.deliver port frame;
+    run_for w (Dsim.Time.us 100)
+  done;
+  run_for w (Dsim.Time.ms 10);
+  (* The listener is still alive and usable. *)
+  let cli = w.lnif.Core.Topology.stack in
+  let cfd = get (Stack.socket_stream cli) in
+  ignore (Stack.connect cli cfd ~ip:ip_right ~port:5201);
+  run_for w (Dsim.Time.ms 20);
+  (match Stack.accept srv lfd with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "listener broken after fuzz: %s" (Errno.to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "fuzz: garbage frames dropped" `Quick fuzz_garbage_frames;
+    Alcotest.test_case "fault: bit flips caught by checksums" `Quick corruption_is_caught;
+    Alcotest.test_case "fault: link flap recovery" `Quick link_flap_recovery;
+    Alcotest.test_case "fault: mbuf pool exhaustion" `Quick pool_exhaustion_backpressure;
+    Alcotest.test_case "fuzz: random TCP segments vs listener" `Quick fuzz_tcp_segments;
+  ]

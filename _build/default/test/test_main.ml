@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "cheri-netstack"
+    [
+      ("dsim", Test_dsim.suite);
+      ("cheri", Test_cheri.suite);
+      ("nic", Test_nic.suite);
+      ("dpdk", Test_dpdk.suite);
+      ("wire", Test_wire.suite @ Test_wire.unit_suite);
+      ("tcp", Test_tcp.suite);
+      ("stack", Test_stack.suite);
+      ("capvm", Test_capvm.suite);
+      ("core", Test_core.suite);
+      ("mavlink", Test_mavlink.suite);
+      ("faults", Test_faults.suite);
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the MAVLink-style telemetry protocol and its CVE-shaped
+   decode path. *)
+
+let frame message = { Core.Mavlink.seq = 7; sysid = 1; compid = 200; message }
+
+let roundtrip msg name =
+  let f = frame msg in
+  let wire = Core.Mavlink.encode f in
+  match Core.Mavlink.decode wire with
+  | Ok f' ->
+    Alcotest.(check int) (name ^ ": seq") 7 f'.Core.Mavlink.seq;
+    Alcotest.(check int) (name ^ ": sysid") 1 f'.Core.Mavlink.sysid;
+    Alcotest.(check bool) (name ^ ": message") true (f'.Core.Mavlink.message = msg)
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let heartbeat_roundtrip () =
+  roundtrip
+    (Core.Mavlink.Heartbeat { vehicle_type = 2; autopilot = 12; base_mode = 81; status = 4 })
+    "heartbeat"
+
+let attitude_roundtrip () =
+  roundtrip
+    (Core.Mavlink.Attitude
+       { time_ms = 123456; roll_cdeg = -1234; pitch_cdeg = 567; yaw_cdeg = -17999 })
+    "attitude"
+
+let command_roundtrip () =
+  roundtrip
+    (Core.Mavlink.Command { command = 400; param1 = -1; param2 = 32000; confirmation = 3 })
+    "command"
+
+let raw_roundtrip () =
+  roundtrip
+    (Core.Mavlink.Raw { msgid = 150; payload = Bytes.of_string "custom-payload" })
+    "raw"
+
+let crc_detects_corruption () =
+  let wire =
+    Core.Mavlink.encode
+      (frame (Core.Mavlink.Heartbeat { vehicle_type = 1; autopilot = 1; base_mode = 0; status = 0 }))
+  in
+  Bytes.set wire 3 '\xEE' (* flip the sysid *);
+  Alcotest.(check bool) "corrupted frame rejected" true
+    (Result.is_error (Core.Mavlink.decode wire))
+
+let decode_errors () =
+  Alcotest.(check bool) "short frame" true
+    (Result.is_error (Core.Mavlink.decode (Bytes.create 4)));
+  let bad_magic = Bytes.make 10 '\x00' in
+  Alcotest.(check bool) "bad magic" true
+    (Result.is_error (Core.Mavlink.decode bad_magic));
+  (* Declared length beyond the buffer: the safe parser refuses. *)
+  Alcotest.(check bool) "oversized declaration rejected" true
+    (Result.is_error (Core.Mavlink.decode (Core.Mavlink.forge_oversized ~declared_len:200)))
+
+let crc_reference () =
+  (* Self-consistency + a fixed regression value. *)
+  let b = Bytes.of_string "\x01\x02\x03\x04" in
+  let c1 = Core.Mavlink.crc_x25 b ~off:0 ~len:4 in
+  let c2 = Core.Mavlink.crc_x25 b ~off:0 ~len:4 in
+  Alcotest.(check int) "deterministic" c1 c2;
+  Alcotest.(check bool) "16-bit" true (c1 >= 0 && c1 <= 0xFFFF);
+  (* chained = whole *)
+  let part = Core.Mavlink.crc_x25 b ~off:0 ~len:2 in
+  let whole = Core.Mavlink.crc_x25 ~init:part b ~off:2 ~len:2 in
+  Alcotest.(check int) "chaining" c1 whole
+
+let cve_decode_traps_under_cheri () =
+  let mem = Cheri.Tagged_memory.create ~size:0x10000 in
+  let buf = Cheri.Capability.root ~base:0x100 ~length:64 ~perms:Cheri.Perms.data in
+  (* A well-formed frame fits and decodes. *)
+  let good =
+    Core.Mavlink.encode
+      (frame (Core.Mavlink.Heartbeat { vehicle_type = 2; autopilot = 12; base_mode = 0; status = 4 }))
+  in
+  (match Core.Mavlink.decode_into mem ~dst:buf good with
+  | Ok (_, copied) -> Alcotest.(check int) "copied declared length" 4 copied
+  | Error e -> Alcotest.fail e);
+  (* The CVE frame declares 200 bytes against the 64-byte buffer: the
+     copy faults before any byte lands out of bounds. *)
+  let evil = Core.Mavlink.forge_oversized ~declared_len:200 in
+  Alcotest.(check bool) "oversized copy traps" true
+    (match Core.Mavlink.decode_into mem ~dst:buf evil with
+    | _ -> false
+    | exception Cheri.Fault.Capability_fault f ->
+      f.Cheri.Fault.kind = Cheri.Fault.Out_of_bounds)
+
+let cve_decode_overruns_flat () =
+  (* The same code shape against a wide-open capability: the copy lands
+     beyond the 64 "intended" bytes — the flat-memory overflow. *)
+  let mem = Cheri.Tagged_memory.create ~size:0x10000 in
+  let flat = Cheri.Capability.root ~base:0x100 ~length:0x1000 ~perms:Cheri.Perms.data in
+  let canary = Cheri.Capability.root ~base:0x140 ~length:16 ~perms:Cheri.Perms.data in
+  Cheri.Tagged_memory.store_bytes mem ~cap:canary ~addr:0x140 (Bytes.of_string "CANARYCANARYCANA");
+  let evil = Core.Mavlink.forge_oversized ~declared_len:200 in
+  (match Core.Mavlink.decode_into mem ~dst:flat evil with
+  | Ok _ -> Alcotest.fail "CRC should still fail"
+  | Error _ -> ()
+  | exception Cheri.Fault.Capability_fault _ -> Alcotest.fail "flat view must not trap");
+  let after = Cheri.Tagged_memory.load_bytes mem ~cap:canary ~addr:0x140 ~len:16 in
+  Alcotest.(check bool) "canary smashed on the flat system" true
+    (Bytes.to_string after <> "CANARYCANARYCANA")
+
+let seq_and_pp () =
+  let f = frame (Core.Mavlink.Attitude { time_ms = 1; roll_cdeg = 100; pitch_cdeg = 0; yaw_cdeg = 0 }) in
+  let s = Format.asprintf "%a" Core.Mavlink.pp f in
+  Alcotest.(check bool) "pp mentions attitude" true (Astring_contains.contains s "ATTITUDE")
+
+let fuzz_decode_no_crash =
+  QCheck.Test.make ~name:"mavlink: random bytes never crash the safe parser" ~count:500
+    QCheck.(list_of_size Gen.(int_range 0 64) (int_bound 255))
+    (fun byte_list ->
+      let b = Bytes.of_string (String.init (List.length byte_list) (fun i -> Char.chr (List.nth byte_list i))) in
+      match Core.Mavlink.decode b with Ok _ | Error _ -> true)
+
+let encode_decode_prop =
+  QCheck.Test.make ~name:"mavlink: encode/decode roundtrips raw payloads" ~count:200
+    QCheck.(pair (int_range 100 255) (list_of_size Gen.(int_range 0 100) (int_bound 255)))
+    (fun (msgid, byte_list) ->
+      let payload =
+        Bytes.of_string
+          (String.init (List.length byte_list) (fun i -> Char.chr (List.nth byte_list i)))
+      in
+      let f = frame (Core.Mavlink.Raw { msgid; payload }) in
+      match Core.Mavlink.decode (Core.Mavlink.encode f) with
+      | Ok f' -> f'.Core.Mavlink.message = f.Core.Mavlink.message
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "heartbeat roundtrip" `Quick heartbeat_roundtrip;
+    Alcotest.test_case "attitude roundtrip (signed fields)" `Quick attitude_roundtrip;
+    Alcotest.test_case "command roundtrip" `Quick command_roundtrip;
+    Alcotest.test_case "raw roundtrip" `Quick raw_roundtrip;
+    Alcotest.test_case "crc detects corruption" `Quick crc_detects_corruption;
+    Alcotest.test_case "decode error paths" `Quick decode_errors;
+    Alcotest.test_case "crc chaining" `Quick crc_reference;
+    Alcotest.test_case "CVE decode traps under CHERI" `Quick cve_decode_traps_under_cheri;
+    Alcotest.test_case "CVE decode overruns a flat view" `Quick cve_decode_overruns_flat;
+    Alcotest.test_case "pretty printing" `Quick seq_and_pp;
+    QCheck_alcotest.to_alcotest fuzz_decode_no_crash;
+    QCheck_alcotest.to_alcotest encode_decode_prop;
+  ]

@@ -1,0 +1,306 @@
+(* Tests for the simulated NIC hardware: MAC addressing, PCI bus, link
+   and the igb-class device. *)
+
+let mac_roundtrip () =
+  let m = Nic.Mac_addr.of_string_exn "02:82:ab:cd:57:01" in
+  Alcotest.(check string) "pp" "02:82:ab:cd:57:01" (Nic.Mac_addr.to_string m);
+  Alcotest.(check bool) "equal to make" true
+    (Nic.Mac_addr.equal m (Nic.Mac_addr.make 0x02 0x82 0xab 0xcd 0x57 0x01));
+  Alcotest.(check bool) "roundtrip via bytes" true
+    (Nic.Mac_addr.equal m (Nic.Mac_addr.of_bytes_exn (Nic.Mac_addr.to_bytes m)))
+
+let mac_classes () =
+  Alcotest.(check bool) "broadcast" true (Nic.Mac_addr.is_broadcast Nic.Mac_addr.broadcast);
+  Alcotest.(check bool) "broadcast is multicast" true
+    (Nic.Mac_addr.is_multicast Nic.Mac_addr.broadcast);
+  Alcotest.(check bool) "unicast" false
+    (Nic.Mac_addr.is_multicast (Nic.Mac_addr.make 2 0 0 0 0 1));
+  Alcotest.(check bool) "multicast bit" true
+    (Nic.Mac_addr.is_multicast (Nic.Mac_addr.make 1 0 0 0 0 0))
+
+let mac_parse_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (match Nic.Mac_addr.of_string_exn s with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ "1:2:3"; "gg:00:00:00:00:00"; "00:00:00:00:00:00:00"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* PCI bus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pci_serialization () =
+  let bus = Nic.Pci_bus.create ~rx_bps:8e8 ~tx_bps:8e8 () in
+  (* 100 bytes at 100 MB/s = 1000 ns each; the second transfer queues. *)
+  let t1 = Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:Dsim.Time.zero ~bytes:100 in
+  let t2 = Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:Dsim.Time.zero ~bytes:100 in
+  Alcotest.(check int64) "first transfer" 1000L t1;
+  Alcotest.(check int64) "second queues behind" 2000L t2;
+  Alcotest.(check int) "transfer count" 2 (Nic.Pci_bus.transfers bus Nic.Pci_bus.To_memory)
+
+let pci_directions_independent () =
+  let bus = Nic.Pci_bus.create ~rx_bps:8e8 ~tx_bps:8e8 () in
+  let t1 = Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:Dsim.Time.zero ~bytes:100 in
+  let t2 = Nic.Pci_bus.reserve bus Nic.Pci_bus.From_memory ~now:Dsim.Time.zero ~bytes:100 in
+  Alcotest.(check int64) "rx" 1000L t1;
+  Alcotest.(check int64) "tx does not queue behind rx" 1000L t2
+
+let pci_gap_idles () =
+  let bus = Nic.Pci_bus.create ~rx_bps:8e8 ~tx_bps:8e8 () in
+  ignore (Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:Dsim.Time.zero ~bytes:100);
+  let t = Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:(Dsim.Time.ns 5000) ~bytes:100 in
+  Alcotest.(check int64) "starts at now when idle" 6000L t
+
+let pci_per_transfer_overhead () =
+  let bus = Nic.Pci_bus.create ~rx_bps:8e8 ~tx_bps:8e8 ~per_transfer_ns:50. () in
+  let t = Nic.Pci_bus.reserve bus Nic.Pci_bus.To_memory ~now:Dsim.Time.zero ~bytes:100 in
+  Alcotest.(check int64) "fixed overhead added" 1050L t
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let link_delivery () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e ~bps:1e9 ~prop_delay:(Dsim.Time.ns 500) () in
+  let got = ref [] in
+  Nic.Link.attach l Nic.Link.B (fun f -> got := Bytes.to_string f :: !got);
+  let frame = Bytes.make 100 'x' in
+  let tx_done = Nic.Link.transmit l ~from:Nic.Link.A ~frame in
+  (* (100 + 24 overhead) * 8ns = 992ns serialization *)
+  Alcotest.(check int64) "tx done after serialization" 992L tx_done;
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check int64) "delivered after propagation" 1492L (Dsim.Engine.now e);
+  Alcotest.(check (list string)) "payload" [ Bytes.to_string frame ] !got
+
+let link_back_to_back () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
+  Nic.Link.attach l Nic.Link.B (fun _ -> ());
+  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') in
+  let t2 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'b') in
+  Alcotest.(check int64) "second serializes after first" (Int64.mul t1 2L) t2
+
+let link_full_duplex () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
+  Nic.Link.attach l Nic.Link.A (fun _ -> ());
+  Nic.Link.attach l Nic.Link.B (fun _ -> ());
+  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') in
+  let t2 = Nic.Link.transmit l ~from:Nic.Link.B ~frame:(Bytes.make 100 'b') in
+  Alcotest.(check int64) "directions independent" t1 t2
+
+let link_down_drops () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e () in
+  let got = ref 0 in
+  Nic.Link.attach l Nic.Link.B (fun _ -> incr got);
+  Nic.Link.set_up l false;
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "counted as dropped" 1 (Nic.Link.dropped l);
+  Nic.Link.set_up l true;
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check int) "delivered when up" 1 !got
+
+let link_no_handler_drops () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e () in
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check int) "dropped without handler" 1 (Nic.Link.dropped l)
+
+let link_carried_accounting () =
+  let e = Dsim.Engine.create () in
+  let l = Nic.Link.create e () in
+  Nic.Link.attach l Nic.Link.B (fun _ -> ());
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'x'));
+  Alcotest.(check int) "wire bytes include overhead" 124
+    (Nic.Link.carried_bytes l ~from:Nic.Link.A)
+
+(* ------------------------------------------------------------------ *)
+(* Igb device                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rig = {
+  engine : Dsim.Engine.t;
+  mem : Cheri.Tagged_memory.t;
+  dev : Nic.Igb.t;
+  port : Nic.Igb.port;
+  dma : Cheri.Capability.t;
+}
+
+let make_rig ?(rx_ring_size = 8) ?(tx_ring_size = 8) () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:0x100000 in
+  let bus = Nic.Pci_bus.create () in
+  let mac = Nic.Mac_addr.make 2 0 0 0 0 1 in
+  let dev = Nic.Igb.create engine mem ~bus ~macs:[ mac ] ~rx_ring_size ~tx_ring_size () in
+  let port = Nic.Igb.port dev 0 in
+  let dma = Cheri.Capability.root ~base:0x1000 ~length:0x10000 ~perms:Cheri.Perms.data in
+  Nic.Igb.set_dma_cap port dma;
+  { engine; mem; dev; port; dma }
+
+(* A frame addressed to the rig's port MAC. *)
+let frame_for rig payload =
+  let b = Bytes.make (14 + String.length payload) '\000' in
+  Bytes.blit_string (Nic.Mac_addr.to_bytes (Nic.Igb.mac rig.port)) 0 b 0 6;
+  Bytes.blit_string payload 0 b 14 (String.length payload);
+  b
+
+let igb_rx_roundtrip () =
+  let rig = make_rig () in
+  Alcotest.(check bool) "refill accepted" true
+    (Nic.Igb.rx_refill rig.port ~addr:0x2000 ~len:2048);
+  let frame = frame_for rig "ping-payload" in
+  Nic.Igb.deliver rig.port frame;
+  Alcotest.(check int) "not yet DMA-complete" 0 (Nic.Igb.rx_pending rig.port);
+  Dsim.Engine.run_until_quiet rig.engine;
+  (match Nic.Igb.rx_burst rig.port ~max:4 with
+  | [ (addr, len) ] ->
+    Alcotest.(check int) "buffer address" 0x2000 addr;
+    Alcotest.(check int) "length" (Bytes.length frame) len;
+    let copy = Bytes.create len in
+    Cheri.Tagged_memory.unchecked_blit_out rig.mem ~addr ~dst:copy ~dst_off:0 ~len;
+    Alcotest.(check string) "content landed in memory" (Bytes.to_string frame)
+      (Bytes.to_string copy)
+  | l -> Alcotest.failf "expected one completion, got %d" (List.length l));
+  Alcotest.(check int) "stats rx" 1 (Nic.Igb.stats rig.port).Nic.Port_stats.rx_packets
+
+let igb_rx_no_desc_drop () =
+  let rig = make_rig () in
+  Nic.Igb.deliver rig.port (frame_for rig "no buffer posted");
+  Dsim.Engine.run_until_quiet rig.engine;
+  Alcotest.(check int) "dropped" 1 (Nic.Igb.stats rig.port).Nic.Port_stats.rx_no_desc;
+  Alcotest.(check int) "nothing received" 0 (Nic.Igb.rx_pending rig.port)
+
+let igb_mac_filter () =
+  let rig = make_rig () in
+  ignore (Nic.Igb.rx_refill rig.port ~addr:0x2000 ~len:2048);
+  let other = Bytes.make 60 '\000' in
+  Bytes.blit_string (Nic.Mac_addr.to_bytes (Nic.Mac_addr.make 2 9 9 9 9 9)) 0 other 0 6;
+  Nic.Igb.deliver rig.port other;
+  Dsim.Engine.run_until_quiet rig.engine;
+  Alcotest.(check int) "filtered" 1 (Nic.Igb.stats rig.port).Nic.Port_stats.rx_filtered;
+  (* Promiscuous mode accepts it. *)
+  Nic.Igb.set_promisc rig.port true;
+  Nic.Igb.deliver rig.port other;
+  Dsim.Engine.run_until_quiet rig.engine;
+  Alcotest.(check int) "accepted promisc" 1 (Nic.Igb.rx_pending rig.port)
+
+let igb_broadcast_accepted () =
+  let rig = make_rig () in
+  ignore (Nic.Igb.rx_refill rig.port ~addr:0x2000 ~len:2048);
+  let bcast = Bytes.make 60 '\255' in
+  Nic.Igb.deliver rig.port bcast;
+  Dsim.Engine.run_until_quiet rig.engine;
+  Alcotest.(check int) "broadcast received" 1 (Nic.Igb.rx_pending rig.port)
+
+let igb_rx_ring_bounded () =
+  let rig = make_rig ~rx_ring_size:2 () in
+  Alcotest.(check bool) "slot 1" true (Nic.Igb.rx_refill rig.port ~addr:0x2000 ~len:2048);
+  Alcotest.(check bool) "slot 2" true (Nic.Igb.rx_refill rig.port ~addr:0x2800 ~len:2048);
+  Alcotest.(check bool) "ring full" false (Nic.Igb.rx_refill rig.port ~addr:0x3000 ~len:2048);
+  Alcotest.(check int) "free slots tracks" 0 (Nic.Igb.rx_free_slots rig.port)
+
+let igb_dma_cap_enforced () =
+  let rig = make_rig () in
+  Alcotest.(check bool) "refill outside window faults" true
+    (match Nic.Igb.rx_refill rig.port ~addr:0x90000 ~len:2048 with
+    | _ -> false
+    | exception Cheri.Fault.Capability_fault _ -> true);
+  Alcotest.(check bool) "tx outside window faults" true
+    (match Nic.Igb.tx_enqueue rig.port ~addr:0x90000 ~len:100 with
+    | _ -> false
+    | exception Cheri.Fault.Capability_fault _ -> true)
+
+(* Two ports wired together: the full tx -> wire -> rx path. *)
+let igb_tx_to_peer () =
+  let engine = Dsim.Engine.create () in
+  let mem = Cheri.Tagged_memory.create ~size:0x100000 in
+  let bus = Nic.Pci_bus.create () in
+  let macs = [ Nic.Mac_addr.make 2 0 0 0 0 1; Nic.Mac_addr.make 2 0 0 0 0 2 ] in
+  let dev = Nic.Igb.create engine mem ~bus ~macs () in
+  let a = Nic.Igb.port dev 0 and b = Nic.Igb.port dev 1 in
+  let dma = Cheri.Capability.root ~base:0 ~length:0x100000 ~perms:Cheri.Perms.data in
+  Nic.Igb.set_dma_cap a dma;
+  Nic.Igb.set_dma_cap b dma;
+  let link = Nic.Link.create engine () in
+  Nic.Igb.connect a link Nic.Link.A;
+  Nic.Igb.connect b link Nic.Link.B;
+  (* b posts an RX buffer; a transmits a frame addressed to b. *)
+  ignore (Nic.Igb.rx_refill b ~addr:0x8000 ~len:2048);
+  let frame = Bytes.make 80 '\000' in
+  Bytes.blit_string (Nic.Mac_addr.to_bytes (Nic.Igb.mac b)) 0 frame 0 6;
+  Bytes.blit_string "payload!" 0 frame 14 8;
+  Cheri.Tagged_memory.unchecked_blit_in mem ~addr:0x4000 ~src:frame ~src_off:0
+    ~len:(Bytes.length frame);
+  Alcotest.(check bool) "tx accepted" true
+    (Nic.Igb.tx_enqueue a ~addr:0x4000 ~len:(Bytes.length frame));
+  Alcotest.(check int) "in flight" 1 (Nic.Igb.tx_in_flight a);
+  Dsim.Engine.run_until_quiet engine;
+  (match Nic.Igb.tx_reap a ~max:8 with
+  | [ addr ] -> Alcotest.(check int) "reaped buffer" 0x4000 addr
+  | l -> Alcotest.failf "expected one reap, got %d" (List.length l));
+  Alcotest.(check int) "no longer in flight" 0 (Nic.Igb.tx_in_flight a);
+  (match Nic.Igb.rx_burst b ~max:8 with
+  | [ (addr, len) ] ->
+    let copy = Bytes.create len in
+    Cheri.Tagged_memory.unchecked_blit_out mem ~addr ~dst:copy ~dst_off:0 ~len;
+    Alcotest.(check string) "frame crossed the wire" (Bytes.to_string frame)
+      (Bytes.to_string copy)
+  | l -> Alcotest.failf "expected one rx, got %d" (List.length l));
+  Alcotest.(check int) "tx stats" 1 (Nic.Igb.stats a).Nic.Port_stats.tx_packets;
+  Alcotest.(check int) "rx stats" 1 (Nic.Igb.stats b).Nic.Port_stats.rx_packets
+
+let igb_tx_ring_full () =
+  let rig = make_rig ~tx_ring_size:1 () in
+  Alcotest.(check bool) "first accepted" true
+    (Nic.Igb.tx_enqueue rig.port ~addr:0x2000 ~len:100);
+  Alcotest.(check bool) "second refused" false
+    (Nic.Igb.tx_enqueue rig.port ~addr:0x3000 ~len:100);
+  Alcotest.(check int) "refusal counted" 1
+    (Nic.Igb.stats rig.port).Nic.Port_stats.tx_ring_full
+
+let igb_rx_ordering () =
+  let rig = make_rig () in
+  ignore (Nic.Igb.rx_refill rig.port ~addr:0x2000 ~len:2048);
+  ignore (Nic.Igb.rx_refill rig.port ~addr:0x2800 ~len:2048);
+  Nic.Igb.deliver rig.port (frame_for rig "first");
+  Nic.Igb.deliver rig.port (frame_for rig "second");
+  Dsim.Engine.run_until_quiet rig.engine;
+  match Nic.Igb.rx_burst rig.port ~max:8 with
+  | [ (a1, _); (a2, _) ] ->
+    Alcotest.(check int) "first buffer first" 0x2000 a1;
+    Alcotest.(check int) "second buffer second" 0x2800 a2
+  | l -> Alcotest.failf "expected two, got %d" (List.length l)
+
+let suite =
+  [
+    Alcotest.test_case "mac: roundtrip" `Quick mac_roundtrip;
+    Alcotest.test_case "mac: address classes" `Quick mac_classes;
+    Alcotest.test_case "mac: parse errors" `Quick mac_parse_errors;
+    Alcotest.test_case "pci: per-direction serialization" `Quick pci_serialization;
+    Alcotest.test_case "pci: directions independent" `Quick pci_directions_independent;
+    Alcotest.test_case "pci: idles between transfers" `Quick pci_gap_idles;
+    Alcotest.test_case "pci: fixed per-transfer overhead" `Quick pci_per_transfer_overhead;
+    Alcotest.test_case "link: serialization + propagation" `Quick link_delivery;
+    Alcotest.test_case "link: back-to-back frames queue" `Quick link_back_to_back;
+    Alcotest.test_case "link: full duplex" `Quick link_full_duplex;
+    Alcotest.test_case "link: admin down drops" `Quick link_down_drops;
+    Alcotest.test_case "link: no handler drops" `Quick link_no_handler_drops;
+    Alcotest.test_case "link: wire byte accounting" `Quick link_carried_accounting;
+    Alcotest.test_case "igb: rx roundtrip through DMA" `Quick igb_rx_roundtrip;
+    Alcotest.test_case "igb: rx drop without descriptors" `Quick igb_rx_no_desc_drop;
+    Alcotest.test_case "igb: MAC filter & promisc" `Quick igb_mac_filter;
+    Alcotest.test_case "igb: broadcast accepted" `Quick igb_broadcast_accepted;
+    Alcotest.test_case "igb: rx ring bounded" `Quick igb_rx_ring_bounded;
+    Alcotest.test_case "igb: DMA window enforced" `Quick igb_dma_cap_enforced;
+    Alcotest.test_case "igb: tx to peer over the wire" `Quick igb_tx_to_peer;
+    Alcotest.test_case "igb: tx ring full refusal" `Quick igb_tx_ring_full;
+    Alcotest.test_case "igb: rx completion ordering" `Quick igb_rx_ordering;
+  ]

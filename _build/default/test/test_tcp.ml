@@ -1,0 +1,622 @@
+(* TCP state-machine tests: two control blocks wired back to back with
+   manual segment delivery, a controllable clock, and loss injection. *)
+
+open Netstack
+
+let ip_a = Ipv4_addr.make 10 0 0 1
+let ip_b = Ipv4_addr.make 10 0 0 2
+
+type endpoint = {
+  cb : Tcp_cb.t;
+  ctx : Tcp_cb.ctx;
+  events : Tcp_cb.event list ref;
+  outbox : (Tcp_wire.header * bytes) Queue.t;
+}
+
+type pipe = { a : endpoint; b : endpoint; clock : Dsim.Time.t ref }
+
+let make_endpoint clock ~ip ~port ~config =
+  let events = ref [] in
+  let outbox = Queue.create () in
+  let cb = Tcp_cb.create ~config ~local_ip:ip ~local_port:port () in
+  let ctx =
+    {
+      Tcp_cb.now = (fun () -> !clock);
+      emit = (fun hdr payload -> Queue.push (hdr, payload) outbox);
+      on_event = (fun e -> events := e :: !events);
+    }
+  in
+  { cb; ctx; events; outbox }
+
+let test_config =
+  { Tcp_cb.default_config with Tcp_cb.snd_buf_size = 16 * 1024; rcv_buf_size = 16 * 1024 }
+
+let make_pipe ?(config = test_config) () =
+  let clock = ref (Dsim.Time.us 1) in
+  {
+    a = make_endpoint clock ~ip:ip_a ~port:40000 ~config;
+    b = make_endpoint clock ~ip:ip_b ~port:5201 ~config;
+    clock;
+  }
+
+let advance p d = p.clock := Dsim.Time.add !(p.clock) d
+
+(* Deliver the oldest segment from [src] into [dst] (like the stack: an
+   input is followed by a flush). *)
+let deliver_one src dst =
+  match Queue.pop src.outbox with
+  | hdr, payload ->
+    Tcp_input.process dst.cb dst.ctx hdr payload;
+    if dst.cb.Tcp_cb.state <> Tcp_cb.Closed then Tcp_output.flush dst.cb dst.ctx
+  | exception Queue.Empty -> Alcotest.fail "deliver_one: outbox empty"
+
+let drop_one src =
+  match Queue.pop src.outbox with
+  | _ -> ()
+  | exception Queue.Empty -> Alcotest.fail "drop_one: outbox empty"
+
+(* Exchange segments until both directions are quiet. *)
+let rec settle p =
+  if not (Queue.is_empty p.a.outbox) then begin
+    deliver_one p.a p.b;
+    settle p
+  end
+  else if not (Queue.is_empty p.b.outbox) then begin
+    deliver_one p.b p.a;
+    settle p
+  end
+
+let handshake ?config () =
+  let p = make_pipe ?config () in
+  Tcp_cb.open_passive p.b.cb;
+  Tcp_cb.open_active p.a.cb p.a.ctx ~remote_ip:ip_b ~remote_port:5201 ~iss:100;
+  (* SYN reaches the listener: the stack would spawn a child; here b is
+     the child directly. *)
+  let syn, _ = Queue.pop p.a.outbox in
+  p.b.cb.Tcp_cb.remote_ip <- ip_a;
+  p.b.cb.Tcp_cb.remote_port <- 40000;
+  Tcp_input.accept_syn p.b.cb p.b.ctx syn ~iss:500;
+  settle p;
+  p
+
+let had_event ep e = List.mem e !(ep.events)
+
+let state_t =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Tcp_cb.state_to_string s))
+    ( = )
+
+(* App-level helpers mirroring what Stack.write / Stack.close do. *)
+let app_write ep data =
+  let b = Bytes.of_string data in
+  let n = Ring_buf.write ep.cb.Tcp_cb.snd_buf b ~off:0 ~len:(Bytes.length b) in
+  Tcp_output.flush ep.cb ep.ctx;
+  n
+
+let app_read ep len =
+  let b = Bytes.create len in
+  let n = Ring_buf.read_into ep.cb.Tcp_cb.rcv_buf ~dst:b ~dst_off:0 ~len in
+  Bytes.sub_string b 0 n
+
+let app_close ep =
+  (match ep.cb.Tcp_cb.state with
+  | Tcp_cb.Established -> ep.cb.Tcp_cb.state <- Tcp_cb.Fin_wait_1
+  | Tcp_cb.Close_wait -> ep.cb.Tcp_cb.state <- Tcp_cb.Last_ack
+  | s -> Alcotest.failf "app_close in %s" (Tcp_cb.state_to_string s));
+  ep.cb.Tcp_cb.fin_queued <- true;
+  Tcp_output.flush ep.cb ep.ctx
+
+let tick p =
+  Tcp_timer.check p.a.cb p.a.ctx;
+  Tcp_output.flush p.a.cb p.a.ctx;
+  Tcp_timer.check p.b.cb p.b.ctx;
+  Tcp_output.flush p.b.cb p.b.ctx
+
+(* Exchange + let delayed-ACK/retransmit timers fire until fully quiet. *)
+let converge p =
+  settle p;
+  for _ = 1 to 5 do
+    advance p (Dsim.Time.ms 2);
+    tick p;
+    settle p
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let three_way_handshake () =
+  let p = handshake () in
+  Alcotest.check state_t "client established" Tcp_cb.Established p.a.cb.Tcp_cb.state;
+  Alcotest.check state_t "server established" Tcp_cb.Established p.b.cb.Tcp_cb.state;
+  Alcotest.(check bool) "client Connected event" true (had_event p.a Tcp_cb.Connected);
+  Alcotest.(check bool) "server Connected event" true (had_event p.b Tcp_cb.Connected);
+  Alcotest.(check int) "client snd_una past SYN" 101 p.a.cb.Tcp_cb.snd_una;
+  Alcotest.(check int) "client rcv_nxt past server SYN" 501 p.a.cb.Tcp_cb.rcv_nxt;
+  Alcotest.(check int) "mss negotiated" 1448 p.a.cb.Tcp_cb.mss
+
+let data_transfer () =
+  let p = handshake () in
+  Alcotest.(check int) "write accepted" 11 (app_write p.a "hello world");
+  settle p;
+  Alcotest.(check int) "readable" 11 (Tcp_cb.readable_bytes p.b.cb);
+  Alcotest.(check bool) "readable event" true (had_event p.b Tcp_cb.Data_readable);
+  Alcotest.(check string) "content" "hello world" (app_read p.b 64);
+  converge p;
+  Alcotest.(check int) "sender fully acked" 0 (Tcp_cb.flight_size p.a.cb);
+  Alcotest.(check bool) "writable event on ack" true (had_event p.a Tcp_cb.Writable)
+
+let data_bidirectional () =
+  let p = handshake () in
+  ignore (app_write p.a "ping");
+  ignore (app_write p.b "pong");
+  settle p;
+  Alcotest.(check string) "a->b" "ping" (app_read p.b 16);
+  Alcotest.(check string) "b->a" "pong" (app_read p.a 16)
+
+let segmentation_at_mss () =
+  let p = handshake () in
+  let big = String.make 4000 'x' in
+  ignore (app_write p.a big);
+  (* 4000 bytes: two full segments go out; the 1104-byte tail is held
+     by Nagle until the flight drains. *)
+  Alcotest.(check int) "two full segments" 2 (Queue.length p.a.outbox);
+  let seg_lens = Queue.fold (fun acc (_, pl) -> Bytes.length pl :: acc) [] p.a.outbox in
+  Alcotest.(check (list int)) "sizes" [ 1448; 1448 ] seg_lens;
+  converge p;
+  Alcotest.(check int) "all delivered" 4000 (Tcp_cb.readable_bytes p.b.cb)
+
+let delayed_ack_on_single_segment () =
+  let p = handshake () in
+  ignore (app_write p.a "one segment");
+  deliver_one p.a p.b;
+  (* One segment: no immediate ACK, a deadline is armed instead. *)
+  Alcotest.(check bool) "no instant ack" true (Queue.is_empty p.b.outbox);
+  Alcotest.(check bool) "deadline armed" true (p.b.cb.Tcp_cb.ack_deadline <> None);
+  advance p (Dsim.Time.ms 1);
+  Tcp_timer.check p.b.cb p.b.ctx;
+  Tcp_output.flush p.b.cb p.b.ctx;
+  Alcotest.(check int) "delayed ack sent" 1 (Queue.length p.b.outbox);
+  deliver_one p.b p.a;
+  Alcotest.(check int) "acked" 0 (Tcp_cb.flight_size p.a.cb)
+
+let ack_every_two_segments () =
+  let p = handshake () in
+  ignore (app_write p.a (String.make 2896 'x'));
+  deliver_one p.a p.b;
+  Alcotest.(check bool) "first segment: ack held" true (Queue.is_empty p.b.outbox);
+  deliver_one p.a p.b;
+  Alcotest.(check int) "second segment: immediate ack" 1 (Queue.length p.b.outbox)
+
+let nagle_holds_small_tail () =
+  let p = handshake () in
+  ignore (app_write p.a "first");
+  Alcotest.(check int) "first small write goes out (idle)" 1 (Queue.length p.a.outbox);
+  ignore (app_write p.a "second");
+  Alcotest.(check int) "second held while in flight" 1 (Queue.length p.a.outbox);
+  converge p;
+  (* Once the first is acked, the held data flows. *)
+  Alcotest.(check string) "both arrive" "firstsecond" (app_read p.b 32)
+
+let retransmission_on_rto () =
+  let p = handshake () in
+  ignore (app_write p.a "lost data");
+  drop_one p.a;
+  Alcotest.(check int) "in flight" 9 (Tcp_cb.flight_size p.a.cb);
+  advance p (Dsim.Time.ms 20);
+  tick p;
+  Alcotest.(check int) "retransmission counted" 1 p.a.cb.Tcp_cb.retransmissions;
+  Alcotest.(check bool) "segment resent" false (Queue.is_empty p.a.outbox);
+  converge p;
+  Alcotest.(check string) "recovered" "lost data" (app_read p.b 32);
+  Alcotest.(check int) "acked after recovery" 0 (Tcp_cb.flight_size p.a.cb)
+
+let rto_collapses_cwnd () =
+  let p = handshake () in
+  let cwnd_before = p.a.cb.Tcp_cb.cwnd in
+  ignore (app_write p.a (String.make 4000 'x'));
+  while not (Queue.is_empty p.a.outbox) do
+    drop_one p.a
+  done;
+  advance p (Dsim.Time.ms 20);
+  tick p;
+  Alcotest.(check int) "cwnd collapses to one mss" p.a.cb.Tcp_cb.mss p.a.cb.Tcp_cb.cwnd;
+  Alcotest.(check bool) "cwnd was larger" true (cwnd_before > p.a.cb.Tcp_cb.mss);
+  Alcotest.(check bool) "rto backed off" true
+    Dsim.Time.(p.a.cb.Tcp_cb.rto > test_config.Tcp_cb.rto_min)
+
+let rto_gives_up () =
+  let p = handshake () in
+  ignore (app_write p.a "never arrives");
+  drop_one p.a;
+  for _ = 1 to Tcp_timer.max_backoff + 1 do
+    advance p (Dsim.Time.sec 5);
+    Tcp_timer.check p.a.cb p.a.ctx;
+    Tcp_output.flush p.a.cb p.a.ctx;
+    while not (Queue.is_empty p.a.outbox) do
+      drop_one p.a
+    done
+  done;
+  Alcotest.check state_t "gave up" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
+  Alcotest.(check bool) "reset event" true (had_event p.a Tcp_cb.Conn_reset)
+
+let fast_retransmit () =
+  let p = handshake () in
+  (* Five segments; lose the first, deliver the rest: each later segment
+     triggers a duplicate ACK. *)
+  ignore (app_write p.a (String.make (5 * 1448) 'x'));
+  Alcotest.(check int) "five segments out" 5 (Queue.length p.a.outbox);
+  drop_one p.a;
+  for _ = 1 to 4 do
+    deliver_one p.a p.b
+  done;
+  Alcotest.(check int) "dup acks counted" 4 (Queue.length p.b.outbox);
+  let rtx_before = p.a.cb.Tcp_cb.retransmissions in
+  for _ = 1 to 4 do
+    deliver_one p.b p.a
+  done;
+  Alcotest.(check int) "fast retransmit fired" (rtx_before + 1)
+    p.a.cb.Tcp_cb.retransmissions;
+  Alcotest.(check bool) "in fast recovery" true p.a.cb.Tcp_cb.in_fast_recovery;
+  converge p;
+  Alcotest.(check int) "everything delivered" (5 * 1448) (Tcp_cb.readable_bytes p.b.cb);
+  Alcotest.(check bool) "recovery exited" false p.a.cb.Tcp_cb.in_fast_recovery
+
+let teardown_active_close () =
+  let p = handshake () in
+  app_close p.a;
+  Alcotest.check state_t "fin_wait_1" Tcp_cb.Fin_wait_1 p.a.cb.Tcp_cb.state;
+  deliver_one p.a p.b (* FIN *);
+  Alcotest.check state_t "peer close_wait" Tcp_cb.Close_wait p.b.cb.Tcp_cb.state;
+  Alcotest.(check bool) "peer_closed event" true (had_event p.b Tcp_cb.Peer_closed);
+  deliver_one p.b p.a (* ACK of FIN *);
+  Alcotest.check state_t "fin_wait_2" Tcp_cb.Fin_wait_2 p.a.cb.Tcp_cb.state;
+  app_close p.b;
+  Alcotest.check state_t "last_ack" Tcp_cb.Last_ack p.b.cb.Tcp_cb.state;
+  deliver_one p.b p.a (* FIN *);
+  Alcotest.check state_t "time_wait" Tcp_cb.Time_wait p.a.cb.Tcp_cb.state;
+  deliver_one p.a p.b (* final ACK *);
+  Alcotest.check state_t "peer closed" Tcp_cb.Closed p.b.cb.Tcp_cb.state;
+  Alcotest.(check bool) "closed_done" true (had_event p.b Tcp_cb.Closed_done);
+  (* 2MSL expiry. *)
+  advance p (Dsim.Time.ms 100);
+  Tcp_timer.check p.a.cb p.a.ctx;
+  Alcotest.check state_t "time_wait expires" Tcp_cb.Closed p.a.cb.Tcp_cb.state
+
+let teardown_with_pending_data () =
+  let p = handshake () in
+  ignore (app_write p.a "tail data");
+  app_close p.a;
+  settle p;
+  Alcotest.(check string) "data before FIN arrives" "tail data" (app_read p.b 32);
+  Alcotest.(check bool) "eof signalled" true p.b.cb.Tcp_cb.fin_received
+
+let simultaneous_close () =
+  let p = handshake () in
+  app_close p.a;
+  app_close p.b;
+  (* Both FINs cross. *)
+  deliver_one p.a p.b;
+  deliver_one p.b p.a;
+  settle p;
+  advance p (Dsim.Time.ms 100);
+  tick p;
+  Alcotest.check state_t "a closed" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
+  Alcotest.check state_t "b closed" Tcp_cb.Closed p.b.cb.Tcp_cb.state
+
+let rst_tears_down () =
+  let p = handshake () in
+  let rst =
+    {
+      Tcp_wire.src_port = 5201;
+      dst_port = 40000;
+      seq = p.a.cb.Tcp_cb.rcv_nxt;
+      ack = 0;
+      flags = Tcp_wire.flag ~rst:true ();
+      window = 0;
+      options = [];
+    }
+  in
+  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Alcotest.check state_t "closed on rst" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
+  Alcotest.(check bool) "reset event" true (had_event p.a Tcp_cb.Conn_reset)
+
+let rst_out_of_window_ignored () =
+  let p = handshake () in
+  let rst =
+    {
+      Tcp_wire.src_port = 5201;
+      dst_port = 40000;
+      seq = Tcp_seq.add p.a.cb.Tcp_cb.rcv_nxt 1_000_000;
+      ack = 0;
+      flags = Tcp_wire.flag ~rst:true ();
+      window = 0;
+      options = [];
+    }
+  in
+  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Alcotest.check state_t "blind rst ignored" Tcp_cb.Established p.a.cb.Tcp_cb.state
+
+let syn_sent_refused () =
+  let p = make_pipe () in
+  Tcp_cb.open_active p.a.cb p.a.ctx ~remote_ip:ip_b ~remote_port:5201 ~iss:100;
+  let rst =
+    {
+      Tcp_wire.src_port = 5201;
+      dst_port = 40000;
+      seq = 0;
+      ack = p.a.cb.Tcp_cb.snd_nxt;
+      flags = Tcp_wire.flag ~rst:true ~ack:true ();
+      window = 0;
+      options = [];
+    }
+  in
+  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Alcotest.check state_t "closed" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
+  Alcotest.(check bool) "refused event" true (had_event p.a Tcp_cb.Conn_refused)
+
+let syn_retransmit () =
+  let p = make_pipe () in
+  Tcp_cb.open_active p.a.cb p.a.ctx ~remote_ip:ip_b ~remote_port:5201 ~iss:100;
+  drop_one p.a;
+  advance p (Dsim.Time.ms 50);
+  Tcp_timer.check p.a.cb p.a.ctx;
+  Alcotest.(check int) "SYN resent" 1 (Queue.length p.a.outbox);
+  let hdr, _ = Queue.peek p.a.outbox in
+  Alcotest.(check bool) "is a SYN" true hdr.Tcp_wire.flags.Tcp_wire.syn
+
+let zero_window_and_probe () =
+  let p = handshake () in
+  (* Fill the receiver completely (it advertises its buffer size). *)
+  let fill = String.make (16 * 1024) 'z' in
+  ignore (app_write p.a fill);
+  converge p;
+  (* Window-scale granularity (2^4) can leave a sliver unadvertised. *)
+  Alcotest.(check bool) "receiver full up to wscale granularity" true
+    (Tcp_cb.readable_bytes p.b.cb >= (16 * 1024) - 16);
+  Alcotest.(check int) "window field closed" 0 (Tcp_cb.rcv_window_field p.b.cb);
+  Alcotest.(check int) "sender sees zero window" 0 p.a.cb.Tcp_cb.snd_wnd;
+  (* More data queues locally; nothing can be sent. *)
+  ignore (app_write p.a "blocked");
+  Alcotest.(check bool) "no segment emitted" true (Queue.is_empty p.a.outbox);
+  (* The persist timer probes with one byte. *)
+  advance p (Dsim.Time.ms 20);
+  Tcp_timer.check p.a.cb p.a.ctx;
+  Alcotest.(check int) "probe sent" 1 (Queue.length p.a.outbox);
+  let _, probe_payload = Queue.peek p.a.outbox in
+  Alcotest.(check int) "probe is one byte" 1 (Bytes.length probe_payload);
+  (* The app reads; the window re-opens; everything flows again. *)
+  ignore (app_read p.b (16 * 1024));
+  advance p (Dsim.Time.ms 50);
+  tick p;
+  converge p;
+  converge p;
+  (* The unadvertised sliver of fill arrives first, then the payload. *)
+  let tail = app_read p.b 256 in
+  Alcotest.(check bool) "blocked data arrives" true
+    (String.length tail >= 7
+    && String.sub tail (String.length tail - 7) 7 = "blocked")
+
+let wscale_negotiated () =
+  let big =
+    { Tcp_cb.default_config with Tcp_cb.snd_buf_size = 256 * 1024; rcv_buf_size = 256 * 1024 }
+  in
+  let p = handshake ~config:big () in
+  Alcotest.(check int) "peer shift learned" big.Tcp_cb.window_scale
+    p.a.cb.Tcp_cb.snd_wscale;
+  (* The first post-handshake ACK carries the scaled window. *)
+  ignore (app_write p.a "probe");
+  converge p;
+  Alcotest.(check bool) "window beyond 64K visible" true
+    (p.a.cb.Tcp_cb.snd_wnd > 0xffff)
+
+let wscale_fallback () =
+  (* The b side does not offer wscale (window_scale exists, but we strip
+     the option by clearing the field through a 0-shift config). *)
+  let no_ws = { test_config with Tcp_cb.window_scale = 0 } in
+  let p = make_pipe () in
+  let b = make_endpoint p.clock ~ip:ip_b ~port:5201 ~config:no_ws in
+  Tcp_cb.open_active p.a.cb p.a.ctx ~remote_ip:ip_b ~remote_port:5201 ~iss:100;
+  let syn, _ = Queue.pop p.a.outbox in
+  b.cb.Tcp_cb.remote_ip <- ip_a;
+  b.cb.Tcp_cb.remote_port <- 40000;
+  Tcp_input.accept_syn b.cb b.ctx syn ~iss:500;
+  let synack, _ = Queue.pop b.outbox in
+  Tcp_input.process p.a.cb p.a.ctx synack Bytes.empty;
+  (* b offered shift 0: windows are still exchanged unscaled and
+     correct. *)
+  Alcotest.(check int) "shift is zero" 0 p.a.cb.Tcp_cb.snd_wscale;
+  Alcotest.(check bool) "window sane" true (p.a.cb.Tcp_cb.snd_wnd <= 0xffff)
+
+let rtt_estimation () =
+  let p = handshake () in
+  ignore (app_write p.a "sample");
+  advance p (Dsim.Time.us 500);
+  settle p;
+  advance p (Dsim.Time.ms 1);
+  tick p;
+  settle p;
+  Alcotest.(check bool) "srtt measured" true (p.a.cb.Tcp_cb.srtt_ns > 0.);
+  Alcotest.(check bool) "rto within bounds" true
+    Dsim.Time.(
+      p.a.cb.Tcp_cb.rto >= test_config.Tcp_cb.rto_min
+      && p.a.cb.Tcp_cb.rto <= test_config.Tcp_cb.rto_max)
+
+let future_segment_dupacked () =
+  let p = handshake () in
+  let hdr =
+    {
+      Tcp_wire.src_port = 5201;
+      dst_port = 40000;
+      seq = Tcp_seq.add p.a.cb.Tcp_cb.rcv_nxt 5000;
+      ack = p.a.cb.Tcp_cb.snd_nxt;
+      flags = Tcp_wire.flag ~ack:true ();
+      window = 0xffff;
+      options = [];
+    }
+  in
+  Tcp_input.process p.a.cb p.a.ctx hdr (Bytes.of_string "future");
+  Tcp_output.flush p.a.cb p.a.ctx;
+  Alcotest.(check int) "nothing readable" 0 (Tcp_cb.readable_bytes p.a.cb);
+  Alcotest.(check int) "dup ack emitted" 1 (Queue.length p.a.outbox)
+
+let duplicate_segment_reacked () =
+  let p = handshake () in
+  ignore (app_write p.a "dup!");
+  (* Copy the segment so we can deliver it twice. *)
+  let hdr, payload = Queue.peek p.a.outbox in
+  deliver_one p.a p.b;
+  ignore (app_read p.b 16);
+  let before = p.b.cb.Tcp_cb.rcv_nxt in
+  Tcp_input.process p.b.cb p.b.ctx hdr payload;
+  Tcp_output.flush p.b.cb p.b.ctx;
+  Alcotest.(check int) "rcv_nxt unchanged" before p.b.cb.Tcp_cb.rcv_nxt;
+  Alcotest.(check bool) "re-ack emitted" false (Queue.is_empty p.b.outbox)
+
+let fin_retransmit_in_time_wait () =
+  let p = handshake () in
+  app_close p.a;
+  deliver_one p.a p.b (* FIN *);
+  deliver_one p.b p.a (* ACK *);
+  app_close p.b;
+  (* Deliver b's FIN but lose a's final ACK; b retransmits its FIN. *)
+  let fin_hdr, fin_pl = Queue.peek p.b.outbox in
+  deliver_one p.b p.a;
+  Alcotest.check state_t "a in time_wait" Tcp_cb.Time_wait p.a.cb.Tcp_cb.state;
+  drop_one p.a (* the final ACK is lost *);
+  Tcp_input.process p.a.cb p.a.ctx fin_hdr fin_pl;
+  Tcp_output.flush p.a.cb p.a.ctx;
+  Alcotest.(check int) "time_wait re-acks" 1 (Queue.length p.a.outbox);
+  Alcotest.check state_t "still time_wait" Tcp_cb.Time_wait p.a.cb.Tcp_cb.state
+
+let slow_start_growth () =
+  let p = handshake () in
+  let initial = p.a.cb.Tcp_cb.cwnd in
+  ignore (app_write p.a (String.make (4 * 1448) 'x'));
+  settle p;
+  Alcotest.(check bool) "cwnd grew during slow start" true (p.a.cb.Tcp_cb.cwnd > initial)
+
+(* A sender/receiver stream over a lossy in-order pipe always delivers
+   the exact byte stream (with timers driving recovery). *)
+let lossy_stream_prop =
+  QCheck.Test.make ~name:"tcp: lossy in-order pipe preserves the stream" ~count:25
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (nbytes, seed) ->
+      let nbytes = nbytes + 1 in
+      let p = handshake () in
+      let rng = Dsim.Rng.create ~seed:(Int64.of_int seed) in
+      let data = String.init nbytes (fun i -> Char.chr (i land 0xff)) in
+      ignore (app_write p.a data);
+      let received = Buffer.create nbytes in
+      let budget = ref 10_000 in
+      while Buffer.length received < nbytes && !budget > 0 do
+        decr budget;
+        (* Randomly drop ~20% of a->b segments; never drop ACKs so the
+           test converges quickly. *)
+        if not (Queue.is_empty p.a.outbox) then begin
+          if Dsim.Rng.float rng 1.0 < 0.2 then drop_one p.a else deliver_one p.a p.b
+        end
+        else if not (Queue.is_empty p.b.outbox) then deliver_one p.b p.a
+        else begin
+          advance p (Dsim.Time.ms 20);
+          tick p
+        end;
+        Buffer.add_string received (app_read p.b 4096)
+      done;
+      Buffer.contents received = data)
+
+
+let reassembly_out_of_order () =
+  let p = handshake () in
+  (* Three segments; deliver 2 and 3 first, then 1: no retransmission is
+     needed, the reassembly queue fills the gap. *)
+  ignore (app_write p.a (String.make (3 * 1448) 'x'));
+  let s1 = Queue.pop p.a.outbox in
+  let s2 = Queue.pop p.a.outbox in
+  let s3 = Queue.pop p.a.outbox in
+  let inject (hdr, pl) =
+    Tcp_input.process p.b.cb p.b.ctx hdr pl;
+    Tcp_output.flush p.b.cb p.b.ctx
+  in
+  inject s2;
+  Alcotest.(check int) "nothing readable yet" 0 (Tcp_cb.readable_bytes p.b.cb);
+  Alcotest.(check int) "one segment parked" 1 (List.length p.b.cb.Tcp_cb.ooo_queue);
+  inject s3;
+  Alcotest.(check int) "two parked" 2 (List.length p.b.cb.Tcp_cb.ooo_queue);
+  inject s1;
+  Alcotest.(check int) "gap filled, all readable" (3 * 1448)
+    (Tcp_cb.readable_bytes p.b.cb);
+  Alcotest.(check int) "queue drained" 0 (List.length p.b.cb.Tcp_cb.ooo_queue);
+  converge p;
+  Alcotest.(check int) "no retransmissions needed" 0 p.a.cb.Tcp_cb.retransmissions
+
+let reassembly_single_loss_fast_recovery () =
+  let p = handshake () in
+  ignore (app_write p.a (String.make (5 * 1448) 'x'));
+  drop_one p.a;
+  converge p;
+  (* Fast retransmit resends only the missing head; the parked tail is
+     never retransmitted. *)
+  Alcotest.(check int) "exactly one retransmission" 1 p.a.cb.Tcp_cb.retransmissions;
+  Alcotest.(check int) "stream complete" (5 * 1448) (Tcp_cb.readable_bytes p.b.cb)
+
+let reassembly_bounded () =
+  let tiny = { test_config with Tcp_cb.max_ooo_segments = 2 } in
+  let p = handshake ~config:tiny () in
+  ignore (app_write p.a (String.make (5 * 1448) 'x'));
+  drop_one p.a;
+  for _ = 1 to 4 do deliver_one p.a p.b done;
+  Alcotest.(check int) "queue capped at 2" 2 (List.length p.b.cb.Tcp_cb.ooo_queue);
+  converge p;
+  Alcotest.(check int) "stream still completes" (5 * 1448)
+    (Tcp_cb.readable_bytes p.b.cb)
+
+let reassembly_duplicate_ooo () =
+  let p = handshake () in
+  ignore (app_write p.a (String.make (2 * 1448) 'x'));
+  let s1 = Queue.pop p.a.outbox in
+  let s2 = Queue.pop p.a.outbox in
+  let inject (hdr, pl) =
+    Tcp_input.process p.b.cb p.b.ctx hdr pl;
+    Tcp_output.flush p.b.cb p.b.ctx
+  in
+  inject s2;
+  inject s2;
+  Alcotest.(check int) "duplicate not queued twice" 1
+    (List.length p.b.cb.Tcp_cb.ooo_queue);
+  inject s1;
+  Alcotest.(check int) "no duplicated bytes" (2 * 1448)
+    (Tcp_cb.readable_bytes p.b.cb)
+
+let suite =
+  [
+    Alcotest.test_case "three-way handshake" `Quick three_way_handshake;
+    Alcotest.test_case "data transfer + events" `Quick data_transfer;
+    Alcotest.test_case "bidirectional data" `Quick data_bidirectional;
+    Alcotest.test_case "segmentation at MSS" `Quick segmentation_at_mss;
+    Alcotest.test_case "delayed ACK on single segment" `Quick delayed_ack_on_single_segment;
+    Alcotest.test_case "ACK every two segments" `Quick ack_every_two_segments;
+    Alcotest.test_case "Nagle holds a small tail" `Quick nagle_holds_small_tail;
+    Alcotest.test_case "retransmission on RTO" `Quick retransmission_on_rto;
+    Alcotest.test_case "RTO collapses cwnd and backs off" `Quick rto_collapses_cwnd;
+    Alcotest.test_case "RTO gives up after max backoff" `Quick rto_gives_up;
+    Alcotest.test_case "fast retransmit on 3 dup ACKs" `Quick fast_retransmit;
+    Alcotest.test_case "teardown: active close" `Quick teardown_active_close;
+    Alcotest.test_case "teardown: data before FIN" `Quick teardown_with_pending_data;
+    Alcotest.test_case "teardown: simultaneous close" `Quick simultaneous_close;
+    Alcotest.test_case "RST tears down" `Quick rst_tears_down;
+    Alcotest.test_case "blind RST ignored" `Quick rst_out_of_window_ignored;
+    Alcotest.test_case "SYN_SENT refused by RST" `Quick syn_sent_refused;
+    Alcotest.test_case "SYN retransmission" `Quick syn_retransmit;
+    Alcotest.test_case "zero window + persist probe" `Quick zero_window_and_probe;
+    Alcotest.test_case "window scaling negotiated" `Quick wscale_negotiated;
+    Alcotest.test_case "window scaling fallback" `Quick wscale_fallback;
+    Alcotest.test_case "RTT estimation" `Quick rtt_estimation;
+    Alcotest.test_case "future segment triggers dup ACK" `Quick future_segment_dupacked;
+    Alcotest.test_case "duplicate segment re-ACKed" `Quick duplicate_segment_reacked;
+    Alcotest.test_case "FIN retransmit in TIME_WAIT" `Quick fin_retransmit_in_time_wait;
+    Alcotest.test_case "slow start growth" `Quick slow_start_growth;
+    Alcotest.test_case "reassembly: out-of-order delivery" `Quick reassembly_out_of_order;
+    Alcotest.test_case "reassembly: single loss, one retransmit" `Quick reassembly_single_loss_fast_recovery;
+    Alcotest.test_case "reassembly: bounded queue" `Quick reassembly_bounded;
+    Alcotest.test_case "reassembly: duplicate ooo segment" `Quick reassembly_duplicate_ooo;
+    QCheck_alcotest.to_alcotest lossy_stream_prop;
+  ]

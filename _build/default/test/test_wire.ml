@@ -1,0 +1,559 @@
+(* Tests for the protocol wire formats: checksum, addresses, Ethernet,
+   ARP, IPv4, ICMP, UDP, TCP headers, sequence arithmetic, ring buffer. *)
+
+let ip = Netstack.Ipv4_addr.of_string_exn
+let mac = Nic.Mac_addr.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Checksum                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let checksum_rfc1071_example () =
+  (* The classic example: 0001 f203 f4f5 f6f7 -> checksum 0x220d. *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  Alcotest.(check int) "rfc1071" 0x220d (Netstack.Checksum.compute b ~off:0 ~len:8)
+
+let checksum_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* 0102 + 0300 = 0402 -> complement 0xfbfd *)
+  Alcotest.(check int) "odd tail padded" 0xfbfd (Netstack.Checksum.compute b ~off:0 ~len:3)
+
+let checksum_verify () =
+  let b = Bytes.of_string "\x45\x00\x00\x1c\x00\x01\x40\x00\x40\x01\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02" in
+  let c = Netstack.Checksum.compute b ~off:0 ~len:20 in
+  Bytes.set b 10 (Char.chr (c lsr 8));
+  Bytes.set b 11 (Char.chr (c land 0xff));
+  Alcotest.(check bool) "validates" true (Netstack.Checksum.valid b ~off:0 ~len:20);
+  Bytes.set b 0 '\x46';
+  Alcotest.(check bool) "corruption detected" false (Netstack.Checksum.valid b ~off:0 ~len:20)
+
+(* ------------------------------------------------------------------ *)
+(* IPv4 addresses                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let addr_roundtrip () =
+  Alcotest.(check string) "pp" "10.1.2.3" (Netstack.Ipv4_addr.to_string (ip "10.1.2.3"));
+  Alcotest.(check bool) "equal" true
+    (Netstack.Ipv4_addr.equal (ip "255.255.255.255") Netstack.Ipv4_addr.broadcast);
+  Alcotest.(check bool) "parse error" true
+    (match Netstack.Ipv4_addr.of_string_exn "1.2.3" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "octet range" true
+    (match Netstack.Ipv4_addr.make 256 0 0 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let addr_subnets () =
+  Alcotest.(check bool) "same /24" true
+    (Netstack.Ipv4_addr.in_same_subnet (ip "10.0.0.1") (ip "10.0.0.200") ~prefix:24);
+  Alcotest.(check bool) "different /24" false
+    (Netstack.Ipv4_addr.in_same_subnet (ip "10.0.0.1") (ip "10.0.1.1") ~prefix:24);
+  Alcotest.(check bool) "/16 spans" true
+    (Netstack.Ipv4_addr.in_same_subnet (ip "10.0.0.1") (ip "10.0.1.1") ~prefix:16);
+  Alcotest.(check bool) "/0 everything" true
+    (Netstack.Ipv4_addr.in_same_subnet (ip "1.1.1.1") (ip "200.2.2.2") ~prefix:0);
+  Alcotest.(check bool) "/32 exact" false
+    (Netstack.Ipv4_addr.in_same_subnet (ip "10.0.0.1") (ip "10.0.0.2") ~prefix:32)
+
+(* ------------------------------------------------------------------ *)
+(* Ethernet                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ethernet_roundtrip () =
+  let h =
+    { Netstack.Ethernet.dst = mac "02:00:00:00:00:02";
+      src = mac "02:00:00:00:00:01";
+      ethertype = Netstack.Ethernet.Ipv4 }
+  in
+  let frame = Netstack.Ethernet.build h ~payload:(Bytes.of_string "payload") in
+  (match Netstack.Ethernet.parse frame with
+  | Ok (h', off) ->
+    Alcotest.(check bool) "dst" true (Nic.Mac_addr.equal h.Netstack.Ethernet.dst h'.Netstack.Ethernet.dst);
+    Alcotest.(check bool) "src" true (Nic.Mac_addr.equal h.Netstack.Ethernet.src h'.Netstack.Ethernet.src);
+    Alcotest.(check bool) "ethertype" true (h'.Netstack.Ethernet.ethertype = Netstack.Ethernet.Ipv4);
+    Alcotest.(check int) "payload offset" 14 off
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "short frame rejected" true
+    (Result.is_error (Netstack.Ethernet.parse (Bytes.create 10)))
+
+let ethernet_ethertypes () =
+  Alcotest.(check int) "ipv4" 0x0800 (Netstack.Ethernet.ethertype_to_int Netstack.Ethernet.Ipv4);
+  Alcotest.(check int) "arp" 0x0806 (Netstack.Ethernet.ethertype_to_int Netstack.Ethernet.Arp);
+  Alcotest.(check bool) "unknown survives roundtrip" true
+    (Netstack.Ethernet.ethertype_of_int 0x86dd = Netstack.Ethernet.Unknown 0x86dd)
+
+(* ------------------------------------------------------------------ *)
+(* ARP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let arp_roundtrip () =
+  let req =
+    Netstack.Arp.request ~sender_mac:(mac "02:00:00:00:00:01")
+      ~sender_ip:(ip "10.0.0.1") ~target_ip:(ip "10.0.0.2")
+  in
+  let b = Netstack.Arp.build req in
+  Alcotest.(check int) "packet length" Netstack.Arp.packet_len (Bytes.length b);
+  (match Netstack.Arp.parse b ~off:0 with
+  | Ok p ->
+    Alcotest.(check bool) "op" true (p.Netstack.Arp.op = Netstack.Arp.Request);
+    Alcotest.(check bool) "sender ip" true
+      (Netstack.Ipv4_addr.equal p.Netstack.Arp.sender_ip (ip "10.0.0.1"));
+    Alcotest.(check bool) "target ip" true
+      (Netstack.Ipv4_addr.equal p.Netstack.Arp.target_ip (ip "10.0.0.2"))
+  | Error e -> Alcotest.fail e);
+  let rep = Netstack.Arp.reply_to req ~mac:(mac "02:00:00:00:00:02") in
+  Alcotest.(check bool) "reply op" true (rep.Netstack.Arp.op = Netstack.Arp.Reply);
+  Alcotest.(check bool) "reply targets requester" true
+    (Netstack.Ipv4_addr.equal rep.Netstack.Arp.target_ip (ip "10.0.0.1"));
+  Alcotest.(check bool) "reply advertises our ip" true
+    (Netstack.Ipv4_addr.equal rep.Netstack.Arp.sender_ip (ip "10.0.0.2"))
+
+let arp_parse_errors () =
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Netstack.Arp.parse (Bytes.create 10) ~off:0));
+  let b = Netstack.Arp.build
+      (Netstack.Arp.request ~sender_mac:Nic.Mac_addr.zero
+         ~sender_ip:(ip "1.1.1.1") ~target_ip:(ip "2.2.2.2"))
+  in
+  Bytes.set b 7 '\x09' (* bogus op *);
+  Alcotest.(check bool) "bad op" true (Result.is_error (Netstack.Arp.parse b ~off:0))
+
+let arp_cache_behaviour () =
+  let c = Netstack.Arp_cache.create ~entry_lifetime:(Dsim.Time.ms 10) () in
+  let now = Dsim.Time.zero in
+  Alcotest.(check bool) "miss" true
+    (Netstack.Arp_cache.lookup c ~now (ip "10.0.0.2") = None);
+  Netstack.Arp_cache.insert c ~now (ip "10.0.0.2") (mac "02:00:00:00:00:02");
+  Alcotest.(check bool) "hit" true
+    (Netstack.Arp_cache.lookup c ~now (ip "10.0.0.2") <> None);
+  Alcotest.(check bool) "expired" true
+    (Netstack.Arp_cache.lookup c ~now:(Dsim.Time.ms 20) (ip "10.0.0.2") = None)
+
+let arp_cache_pending () =
+  let c = Netstack.Arp_cache.create ~max_pending_per_ip:2 () in
+  Alcotest.(check bool) "queue 1" true
+    (Netstack.Arp_cache.enqueue_pending c (ip "10.0.0.2") (Bytes.of_string "a"));
+  Alcotest.(check bool) "queue 2" true
+    (Netstack.Arp_cache.enqueue_pending c (ip "10.0.0.2") (Bytes.of_string "b"));
+  Alcotest.(check bool) "bounded" false
+    (Netstack.Arp_cache.enqueue_pending c (ip "10.0.0.2") (Bytes.of_string "c"));
+  Alcotest.(check (list string)) "drained in order" [ "a"; "b" ]
+    (List.map Bytes.to_string (Netstack.Arp_cache.take_pending c (ip "10.0.0.2")));
+  Alcotest.(check (list reject)) "drained once" []
+    (Netstack.Arp_cache.take_pending c (ip "10.0.0.2"))
+
+let arp_request_rate_limit () =
+  let c = Netstack.Arp_cache.create () in
+  Alcotest.(check bool) "first request goes out" false
+    (Netstack.Arp_cache.request_outstanding c ~now:Dsim.Time.zero (ip "10.0.0.2"));
+  Alcotest.(check bool) "second suppressed" true
+    (Netstack.Arp_cache.request_outstanding c ~now:(Dsim.Time.us 10) (ip "10.0.0.2"));
+  Alcotest.(check bool) "re-allowed after interval" false
+    (Netstack.Arp_cache.request_outstanding c ~now:(Dsim.Time.ms 200) (ip "10.0.0.2"))
+
+(* ------------------------------------------------------------------ *)
+(* IPv4                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ipv4_roundtrip () =
+  let payload = Bytes.of_string "some-transport-data" in
+  let h =
+    { Netstack.Ipv4.src = ip "10.0.0.1"; dst = ip "10.0.0.2";
+      protocol = Netstack.Ipv4.Tcp; ttl = 64; ident = 99;
+      total_len = Netstack.Ipv4.header_len + Bytes.length payload }
+  in
+  let pkt = Netstack.Ipv4.build h ~payload in
+  match Netstack.Ipv4.parse pkt ~off:0 ~len:(Bytes.length pkt) with
+  | Ok (h', off) ->
+    Alcotest.(check bool) "src" true (Netstack.Ipv4_addr.equal h'.Netstack.Ipv4.src (ip "10.0.0.1"));
+    Alcotest.(check bool) "dst" true (Netstack.Ipv4_addr.equal h'.Netstack.Ipv4.dst (ip "10.0.0.2"));
+    Alcotest.(check bool) "proto" true (h'.Netstack.Ipv4.protocol = Netstack.Ipv4.Tcp);
+    Alcotest.(check int) "ident" 99 h'.Netstack.Ipv4.ident;
+    Alcotest.(check int) "total" (20 + 19) h'.Netstack.Ipv4.total_len;
+    Alcotest.(check string) "payload intact" "some-transport-data"
+      (Bytes.sub_string pkt off 19)
+  | Error e -> Alcotest.fail e
+
+let ipv4_parse_errors () =
+  let payload = Bytes.of_string "x" in
+  let h =
+    { Netstack.Ipv4.src = ip "1.1.1.1"; dst = ip "2.2.2.2";
+      protocol = Netstack.Ipv4.Udp; ttl = 1; ident = 0; total_len = 21 }
+  in
+  let pkt = Netstack.Ipv4.build h ~payload in
+  let corrupt = Bytes.copy pkt in
+  Bytes.set corrupt 8 '\x63';
+  Alcotest.(check bool) "checksum detects ttl change" true
+    (Result.is_error (Netstack.Ipv4.parse corrupt ~off:0 ~len:21));
+  let bad_version = Bytes.copy pkt in
+  Bytes.set bad_version 0 '\x65';
+  Alcotest.(check bool) "wrong version" true
+    (Result.is_error (Netstack.Ipv4.parse bad_version ~off:0 ~len:21));
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Netstack.Ipv4.parse pkt ~off:0 ~len:10))
+
+(* ------------------------------------------------------------------ *)
+(* ICMP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let icmp_roundtrip () =
+  let msg = Netstack.Icmp.Echo_request { ident = 7; seq = 3; data = Bytes.of_string "ping" } in
+  let b = Netstack.Icmp.build msg in
+  (match Netstack.Icmp.parse b ~off:0 ~len:(Bytes.length b) with
+  | Ok (Netstack.Icmp.Echo_request { ident; seq; data }) ->
+    Alcotest.(check int) "ident" 7 ident;
+    Alcotest.(check int) "seq" 3 seq;
+    Alcotest.(check string) "data" "ping" (Bytes.to_string data)
+  | Ok _ -> Alcotest.fail "wrong message type"
+  | Error e -> Alcotest.fail e);
+  (match Netstack.Icmp.reply_to msg with
+  | Some (Netstack.Icmp.Echo_reply { ident = 7; seq = 3; _ }) -> ()
+  | _ -> Alcotest.fail "expected an echo reply");
+  Alcotest.(check bool) "reply to reply is none" true
+    (Netstack.Icmp.reply_to (Netstack.Icmp.Echo_reply { ident = 1; seq = 1; data = Bytes.empty }) = None)
+
+let icmp_checksum () =
+  let b = Netstack.Icmp.build (Netstack.Icmp.Echo_request { ident = 1; seq = 1; data = Bytes.empty }) in
+  Bytes.set b 4 '\xFF';
+  Alcotest.(check bool) "corruption detected" true
+    (Result.is_error (Netstack.Icmp.parse b ~off:0 ~len:(Bytes.length b)))
+
+(* ------------------------------------------------------------------ *)
+(* UDP                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let udp_roundtrip () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let d = Netstack.Udp.build ~src ~dst ~src_port:1234 ~dst_port:53 ~payload:(Bytes.of_string "query") in
+  match Netstack.Udp.parse ~src ~dst d ~off:0 ~len:(Bytes.length d) with
+  | Ok (h, off) ->
+    Alcotest.(check int) "src port" 1234 h.Netstack.Udp.src_port;
+    Alcotest.(check int) "dst port" 53 h.Netstack.Udp.dst_port;
+    Alcotest.(check int) "length" 13 h.Netstack.Udp.length;
+    Alcotest.(check string) "payload" "query" (Bytes.sub_string d off 5)
+  | Error e -> Alcotest.fail e
+
+let udp_checksum_pseudo_header () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let d = Netstack.Udp.build ~src ~dst ~src_port:1 ~dst_port:2 ~payload:(Bytes.of_string "x") in
+  (* Same datagram checked against different addresses must fail: the
+     pseudo-header is part of the checksum. *)
+  Alcotest.(check bool) "wrong pseudo header" true
+    (Result.is_error (Netstack.Udp.parse ~src:(ip "10.0.0.9") ~dst d ~off:0 ~len:(Bytes.length d)))
+
+(* ------------------------------------------------------------------ *)
+(* TCP sequence arithmetic                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seq_wraparound () =
+  let near_max = Netstack.Tcp_seq.of_int 0xFFFFFFF0 in
+  let wrapped = Netstack.Tcp_seq.add near_max 0x20 in
+  Alcotest.(check int) "wraps" 0x10 wrapped;
+  Alcotest.(check bool) "lt across wrap" true (Netstack.Tcp_seq.lt near_max wrapped);
+  Alcotest.(check int) "sub across wrap" 0x20 (Netstack.Tcp_seq.sub wrapped near_max);
+  Alcotest.(check int) "negative distance" (-0x20) (Netstack.Tcp_seq.sub near_max wrapped);
+  Alcotest.(check bool) "between across wrap" true
+    (Netstack.Tcp_seq.between (Netstack.Tcp_seq.of_int 0xFFFFFFFF)
+       ~low:near_max ~high:wrapped)
+
+let seq_ordering_props =
+  QCheck.Test.make ~name:"tcp_seq: lt/gt antisymmetric near values" ~count:300
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 0xFFFF))
+    (fun (base, delta) ->
+      let a = Netstack.Tcp_seq.of_int base in
+      let b = Netstack.Tcp_seq.add a (delta + 1) in
+      Netstack.Tcp_seq.lt a b && Netstack.Tcp_seq.gt b a
+      && Netstack.Tcp_seq.sub b a = delta + 1)
+
+(* ------------------------------------------------------------------ *)
+(* TCP wire format                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_header src_port =
+  {
+    Netstack.Tcp_wire.src_port;
+    dst_port = 5201;
+    seq = Netstack.Tcp_seq.of_int 1000;
+    ack = Netstack.Tcp_seq.of_int 2000;
+    flags = Netstack.Tcp_wire.flag ~ack:true ~psh:true ();
+    window = 0x1234;
+    options =
+      [ Netstack.Tcp_wire.Mss 1448;
+        Netstack.Tcp_wire.Wscale 4;
+        Netstack.Tcp_wire.Timestamps { tsval = 111; tsecr = 222 } ];
+  }
+
+let tcp_wire_roundtrip () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let h = tcp_header 40000 in
+  let seg = Netstack.Tcp_wire.build ~src ~dst h ~payload:(Bytes.of_string "DATA") in
+  match Netstack.Tcp_wire.parse ~src ~dst seg ~off:0 ~len:(Bytes.length seg) with
+  | Ok (h', off) ->
+    Alcotest.(check int) "src port" 40000 h'.Netstack.Tcp_wire.src_port;
+    Alcotest.(check int) "dst port" 5201 h'.Netstack.Tcp_wire.dst_port;
+    Alcotest.(check int) "seq" 1000 h'.Netstack.Tcp_wire.seq;
+    Alcotest.(check int) "ack" 2000 h'.Netstack.Tcp_wire.ack;
+    Alcotest.(check bool) "flags" true
+      (h'.Netstack.Tcp_wire.flags.Netstack.Tcp_wire.ack
+      && h'.Netstack.Tcp_wire.flags.Netstack.Tcp_wire.psh
+      && not h'.Netstack.Tcp_wire.flags.Netstack.Tcp_wire.syn);
+    Alcotest.(check int) "window" 0x1234 h'.Netstack.Tcp_wire.window;
+    Alcotest.(check (option int)) "mss" (Some 1448) (Netstack.Tcp_wire.find_mss h');
+    Alcotest.(check (option int)) "wscale" (Some 4) (Netstack.Tcp_wire.find_wscale h');
+    Alcotest.(check (option (pair int int))) "timestamps" (Some (111, 222))
+      (Netstack.Tcp_wire.find_timestamps h');
+    Alcotest.(check string) "payload" "DATA" (Bytes.sub_string seg off 4)
+  | Error e -> Alcotest.fail e
+
+let tcp_wire_checksum () =
+  let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+  let seg = Netstack.Tcp_wire.build ~src ~dst (tcp_header 40000) ~payload:(Bytes.of_string "DATA") in
+  Bytes.set seg (Bytes.length seg - 1) 'X';
+  Alcotest.(check bool) "payload corruption detected" true
+    (Result.is_error (Netstack.Tcp_wire.parse ~src ~dst seg ~off:0 ~len:(Bytes.length seg)))
+
+let tcp_wire_mss_1448 () =
+  (* 20 IP + 20 TCP + 12 timestamp option + 1448 payload = 1500 MTU. *)
+  let h = { (tcp_header 1) with Netstack.Tcp_wire.options = [ Netstack.Tcp_wire.Timestamps { tsval = 0; tsecr = 0 } ] } in
+  Alcotest.(check int) "data segment header is 32 bytes" 32 (Netstack.Tcp_wire.header_len h);
+  Alcotest.(check int) "1448 + headers = MTU" 1500
+    (Netstack.Ipv4.header_len + Netstack.Tcp_wire.header_len h + 1448)
+
+let tcp_wire_no_options () =
+  let src = ip "1.1.1.1" and dst = ip "2.2.2.2" in
+  let h = { (tcp_header 1) with Netstack.Tcp_wire.options = [] } in
+  let seg = Netstack.Tcp_wire.build ~src ~dst h ~payload:Bytes.empty in
+  Alcotest.(check int) "bare header" 20 (Bytes.length seg);
+  match Netstack.Tcp_wire.parse ~src ~dst seg ~off:0 ~len:20 with
+  | Ok (h', off) ->
+    Alcotest.(check int) "no options" 0 (List.length h'.Netstack.Tcp_wire.options);
+    Alcotest.(check int) "payload offset" 20 off
+  | Error e -> Alcotest.fail e
+
+let tcp_wire_roundtrip_prop =
+  QCheck.Test.make ~name:"tcp_wire: build/parse roundtrips seq numbers" ~count:100
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 0xFFFF))
+    (fun (seq, window) ->
+      let src = ip "10.0.0.1" and dst = ip "10.0.0.2" in
+      let h =
+        { (tcp_header 999) with
+          Netstack.Tcp_wire.seq = Netstack.Tcp_seq.of_int seq; window }
+      in
+      let seg = Netstack.Tcp_wire.build ~src ~dst h ~payload:Bytes.empty in
+      match Netstack.Tcp_wire.parse ~src ~dst seg ~off:0 ~len:(Bytes.length seg) with
+      | Ok (h', _) ->
+        h'.Netstack.Tcp_wire.seq = seq && h'.Netstack.Tcp_wire.window = window
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rb_write_read () =
+  let rb = Netstack.Ring_buf.create ~capacity:8 in
+  let src = Bytes.of_string "abcdef" in
+  Alcotest.(check int) "write all" 6 (Netstack.Ring_buf.write rb src ~off:0 ~len:6);
+  Alcotest.(check int) "length" 6 (Netstack.Ring_buf.length rb);
+  Alcotest.(check int) "free" 2 (Netstack.Ring_buf.free_space rb);
+  Alcotest.(check string) "peek" "cde" (Bytes.to_string (Netstack.Ring_buf.peek rb ~off:2 ~len:3));
+  let dst = Bytes.create 4 in
+  Alcotest.(check int) "read_into" 4 (Netstack.Ring_buf.read_into rb ~dst ~dst_off:0 ~len:4);
+  Alcotest.(check string) "consumed head" "abcd" (Bytes.to_string dst);
+  Alcotest.(check int) "remaining" 2 (Netstack.Ring_buf.length rb)
+
+let rb_short_write () =
+  let rb = Netstack.Ring_buf.create ~capacity:4 in
+  let n = Netstack.Ring_buf.write rb (Bytes.of_string "abcdef") ~off:0 ~len:6 in
+  Alcotest.(check int) "short write" 4 n;
+  Alcotest.(check int) "full write refused" 0
+    (Netstack.Ring_buf.write rb (Bytes.of_string "x") ~off:0 ~len:1)
+
+let rb_wraparound () =
+  let rb = Netstack.Ring_buf.create ~capacity:8 in
+  ignore (Netstack.Ring_buf.write rb (Bytes.of_string "abcdef") ~off:0 ~len:6);
+  Netstack.Ring_buf.drop rb 5;
+  (* head at index 5, write 6 more wraps around the end *)
+  Alcotest.(check int) "wrap write" 6 (Netstack.Ring_buf.write rb (Bytes.of_string "ghijkl") ~off:0 ~len:6);
+  Alcotest.(check string) "wrapped content" "fghijkl"
+    (Bytes.to_string (Netstack.Ring_buf.peek rb ~off:0 ~len:7))
+
+let rb_errors () =
+  let rb = Netstack.Ring_buf.create ~capacity:4 in
+  ignore (Netstack.Ring_buf.write rb (Bytes.of_string "ab") ~off:0 ~len:2);
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  expect_invalid "peek beyond data" (fun () -> Netstack.Ring_buf.peek rb ~off:1 ~len:2);
+  expect_invalid "drop beyond data" (fun () -> Netstack.Ring_buf.drop rb 3);
+  expect_invalid "bad source range" (fun () ->
+      Netstack.Ring_buf.write rb (Bytes.of_string "a") ~off:0 ~len:2);
+  expect_invalid "zero capacity" (fun () -> Netstack.Ring_buf.create ~capacity:0)
+
+let rb_clear () =
+  let rb = Netstack.Ring_buf.create ~capacity:4 in
+  ignore (Netstack.Ring_buf.write rb (Bytes.of_string "ab") ~off:0 ~len:2);
+  Netstack.Ring_buf.clear rb;
+  Alcotest.(check bool) "empty after clear" true (Netstack.Ring_buf.is_empty rb)
+
+(* Model-based: the ring behaves like a byte FIFO. *)
+let rb_model_prop =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [ (3, map (fun n -> `Write n) (int_range 1 10));
+          (2, map (fun n -> `Read n) (int_range 1 10));
+          (1, return `Drop1) ])
+  in
+  QCheck.Test.make ~name:"ring_buf behaves like a byte FIFO" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) op_gen))
+    (fun ops ->
+      let rb = Netstack.Ring_buf.create ~capacity:16 in
+      let model = Buffer.create 64 in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Write n ->
+            let src = Bytes.init n (fun i -> Char.chr ((!next + i) land 0xff)) in
+            let accepted = Netstack.Ring_buf.write rb src ~off:0 ~len:n in
+            Buffer.add_subbytes model src 0 accepted;
+            next := !next + accepted;
+            (* model holds everything; ring holds the tail after reads *)
+            ()
+          | `Read n ->
+            let dst = Bytes.create n in
+            let got = Netstack.Ring_buf.read_into rb ~dst ~dst_off:0 ~len:n in
+            let expected_len = min got (Buffer.length model) in
+            if got <> expected_len then ok := false
+            else begin
+              let expected = Buffer.sub model 0 got in
+              if Bytes.sub_string dst 0 got <> expected then ok := false;
+              let rest = Buffer.sub model got (Buffer.length model - got) in
+              Buffer.clear model;
+              Buffer.add_string model rest
+            end
+          | `Drop1 ->
+            if Netstack.Ring_buf.length rb > 0 then begin
+              Netstack.Ring_buf.drop rb 1;
+              let rest = Buffer.sub model 1 (Buffer.length model - 1) in
+              Buffer.clear model;
+              Buffer.add_string model rest
+            end)
+        ops;
+      !ok && Netstack.Ring_buf.length rb = Buffer.length model)
+
+let suite =
+  [
+    Alcotest.test_case "checksum: RFC 1071 example" `Quick checksum_rfc1071_example;
+    Alcotest.test_case "checksum: odd length" `Quick checksum_odd_length;
+    Alcotest.test_case "checksum: verification" `Quick checksum_verify;
+    Alcotest.test_case "ipv4 addr: roundtrip + errors" `Quick addr_roundtrip;
+    Alcotest.test_case "ipv4 addr: subnets" `Quick addr_subnets;
+    Alcotest.test_case "ethernet: roundtrip" `Quick ethernet_roundtrip;
+    Alcotest.test_case "ethernet: ethertypes" `Quick ethernet_ethertypes;
+    Alcotest.test_case "arp: roundtrip + reply" `Quick arp_roundtrip;
+    Alcotest.test_case "arp: parse errors" `Quick arp_parse_errors;
+    Alcotest.test_case "arp cache: insert/expiry" `Quick arp_cache_behaviour;
+    Alcotest.test_case "arp cache: pending queue" `Quick arp_cache_pending;
+    Alcotest.test_case "arp cache: request rate limit" `Quick arp_request_rate_limit;
+    Alcotest.test_case "ipv4: roundtrip" `Quick ipv4_roundtrip;
+    Alcotest.test_case "ipv4: parse errors" `Quick ipv4_parse_errors;
+    Alcotest.test_case "icmp: echo roundtrip" `Quick icmp_roundtrip;
+    Alcotest.test_case "icmp: checksum" `Quick icmp_checksum;
+    Alcotest.test_case "udp: roundtrip" `Quick udp_roundtrip;
+    Alcotest.test_case "udp: pseudo-header checksum" `Quick udp_checksum_pseudo_header;
+    Alcotest.test_case "tcp_seq: wraparound" `Quick seq_wraparound;
+    QCheck_alcotest.to_alcotest seq_ordering_props;
+    Alcotest.test_case "tcp_wire: roundtrip with options" `Quick tcp_wire_roundtrip;
+    Alcotest.test_case "tcp_wire: checksum" `Quick tcp_wire_checksum;
+    Alcotest.test_case "tcp_wire: MSS 1448 fills the MTU" `Quick tcp_wire_mss_1448;
+    Alcotest.test_case "tcp_wire: no options" `Quick tcp_wire_no_options;
+    QCheck_alcotest.to_alcotest tcp_wire_roundtrip_prop;
+    Alcotest.test_case "ring_buf: write/peek/read" `Quick rb_write_read;
+    Alcotest.test_case "ring_buf: short writes" `Quick rb_short_write;
+    Alcotest.test_case "ring_buf: wraparound" `Quick rb_wraparound;
+    Alcotest.test_case "ring_buf: errors" `Quick rb_errors;
+    Alcotest.test_case "ring_buf: clear" `Quick rb_clear;
+    QCheck_alcotest.to_alcotest rb_model_prop;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Socket table / epoll units                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_udp fd =
+  Netstack.Socket.Udp
+    { Netstack.Socket.ufd = fd; uport = None; rcv_q = Queue.create (); max_rcv_q = 4 }
+
+let socket_table_limits () =
+  let t = Netstack.Socket.create_table ~max_fds:2 () in
+  let fd1 = match Netstack.Socket.alloc t dummy_udp with
+    | Ok (fd, _) -> fd
+    | Error _ -> Alcotest.fail "alloc 1"
+  in
+  let _fd2 = match Netstack.Socket.alloc t dummy_udp with
+    | Ok (fd, _) -> fd
+    | Error _ -> Alcotest.fail "alloc 2"
+  in
+  Alcotest.(check bool) "EMFILE when full" true
+    (match Netstack.Socket.alloc t dummy_udp with
+    | Error Netstack.Errno.EMFILE -> true
+    | _ -> false);
+  Netstack.Socket.release t fd1;
+  Alcotest.(check bool) "slot reusable after release" true
+    (Result.is_ok (Netstack.Socket.alloc t dummy_udp));
+  Alcotest.(check int) "live count" 2 (Netstack.Socket.live_count t);
+  Alcotest.(check int) "fds listed" 2 (List.length (Netstack.Socket.fds t))
+
+let socket_find_kinds () =
+  let t = Netstack.Socket.create_table () in
+  let fd = match Netstack.Socket.alloc t dummy_udp with
+    | Ok (fd, _) -> fd
+    | Error _ -> Alcotest.fail "alloc"
+  in
+  Alcotest.(check bool) "find_udp ok" true
+    (Result.is_ok (Netstack.Socket.find_udp t fd));
+  Alcotest.(check bool) "find_tcp wrong kind" true
+    (match Netstack.Socket.find_tcp t fd with
+    | Error Netstack.Errno.EOPNOTSUPP -> true
+    | _ -> false);
+  Alcotest.(check bool) "find_tcp bad fd" true
+    (match Netstack.Socket.find_tcp t 999 with
+    | Error Netstack.Errno.EBADF -> true
+    | _ -> false)
+
+let epoll_rotation_fairness () =
+  let ep = Netstack.Epoll.create () in
+  let open Netstack.Epoll in
+  ignore (ctl_add ep ~fd:3 epollin);
+  ignore (ctl_add ep ~fd:4 epollin);
+  (* Both always ready; with max=1 successive waits must alternate. *)
+  let ready _ = epollin in
+  let w () = match wait ep ~readiness:ready ~max:1 with
+    | [ (fd, _) ] -> fd
+    | _ -> Alcotest.fail "expected exactly one"
+  in
+  let a = w () and b = w () in
+  Alcotest.(check bool) "rotation alternates" true (a <> b)
+
+let epoll_err_always_reported () =
+  let ep = Netstack.Epoll.create () in
+  let open Netstack.Epoll in
+  ignore (ctl_add ep ~fd:5 epollout) (* interested in OUT only *);
+  let ready _ = epollerr in
+  (match wait ep ~readiness:ready ~max:4 with
+  | [ (5, ev) ] -> Alcotest.(check bool) "ERR delivered unrequested" true (has ev epollerr)
+  | _ -> Alcotest.fail "expected the error event");
+  Alcotest.(check string) "events pp" "IN|ERR"
+    (Format.asprintf "%a" pp_events (epollin lor epollerr))
+
+let unit_suite =
+  [
+    Alcotest.test_case "socket table: limits and reuse" `Quick socket_table_limits;
+    Alcotest.test_case "socket table: kind lookups" `Quick socket_find_kinds;
+    Alcotest.test_case "epoll: rotation fairness" `Quick epoll_rotation_fairness;
+    Alcotest.test_case "epoll: ERR always reported" `Quick epoll_err_always_reported;
+  ]
