@@ -1,0 +1,31 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- quick
+
+# Full gate: build, unit/property tests, then a telemetry smoke run —
+# Table II with metrics enabled must expose the cross-layer instrument
+# families in the Prometheus dump.
+check:
+	dune build
+	dune runtest
+	dune exec bin/netrepro.exe -- table2 --quick --metrics /tmp/netrepro-check.prom > /dev/null
+	@for m in trampoline_crossings_total capability_faults_total \
+	          dpdk_bursts_total nic_dma_bytes_total \
+	          netstack_rx_frames_total syscalls_total; do \
+	  grep -q "$$m" /tmp/netrepro-check.prom \
+	    || { echo "check: $$m missing from metrics dump"; exit 1; }; \
+	  echo "check: $$m present"; \
+	done
+	@echo "check: OK"
+
+clean:
+	dune clean

@@ -136,6 +136,12 @@ let run_micro () =
 (* Paper artefact regeneration                                          *)
 (* ------------------------------------------------------------------ *)
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let regenerate profile ids =
   let specs =
     match ids with
@@ -153,9 +159,25 @@ let regenerate profile ids =
   in
   List.iter
     (fun (s : Core.Experiment.spec) ->
+      let out = s.Core.Experiment.report profile in
       Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
         s.Core.Experiment.paper_ref s.Core.Experiment.title
-        (s.Core.Experiment.render profile);
+        out.Core.Experiment.text;
+      (* Machine-readable summary, one file per artefact, plus an echo
+         on stdout so CI logs carry the numbers. *)
+      let summary =
+        Dsim.Json.to_string
+          (Dsim.Json.Obj
+             [
+               ("id", Dsim.Json.String s.Core.Experiment.id);
+               ("paper_ref", Dsim.Json.String s.Core.Experiment.paper_ref);
+               ("title", Dsim.Json.String s.Core.Experiment.title);
+               ("results", out.Core.Experiment.summary);
+             ])
+      in
+      let file = Printf.sprintf "BENCH_%s.json" s.Core.Experiment.id in
+      write_file file summary;
+      Printf.printf "BENCH_%s %s\n\n" s.Core.Experiment.id summary;
       flush stdout)
     specs
 

@@ -15,7 +15,50 @@ let profile_of quick iterations =
   | None -> base
   | Some n -> { base with Core.Experiment.iterations = n }
 
-let run_experiment ids quick iterations =
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+type telemetry = { metrics_file : string option; trace_file : string option }
+
+(* Telemetry rides along with any experiment run: enable the registries
+   up front, dump the requested files when the run completes. The
+   registries are process-wide, so a multi-experiment run produces one
+   combined metrics file / trace. *)
+let with_telemetry t f =
+  if t.metrics_file <> None then begin
+    Dsim.Metrics.set_enabled Dsim.Metrics.default true;
+    Dsim.Metrics.reset Dsim.Metrics.default
+  end;
+  if t.trace_file <> None then begin
+    Dsim.Span.set_enabled Dsim.Span.default true;
+    Dsim.Span.clear Dsim.Span.default
+  end;
+  let result = f () in
+  let dump path render =
+    match write_file path (render ()) with
+    | () -> true
+    | exception Sys_error msg ->
+      Printf.eprintf "netrepro: cannot write %s\n" msg;
+      false
+  in
+  let ok_metrics =
+    match t.metrics_file with
+    | None -> true
+    | Some path ->
+      dump path (fun () -> Dsim.Metrics.to_prometheus Dsim.Metrics.default)
+  in
+  let ok_trace =
+    match t.trace_file with
+    | None -> true
+    | Some path ->
+      dump path (fun () -> Dsim.Span.to_chrome_json Dsim.Span.default)
+  in
+  if ok_metrics && ok_trace then result else 1
+
+let run_experiment ids quick iterations telemetry =
   let profile = profile_of quick iterations in
   let targets =
     match ids with
@@ -37,14 +80,20 @@ let run_experiment ids quick iterations =
           (String.concat ", " (Core.Experiment.ids ()));
         exit 2)
   in
-  List.iter
-    (fun (s : Core.Experiment.spec) ->
-      Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
-        s.Core.Experiment.paper_ref s.Core.Experiment.title
-        (s.Core.Experiment.render profile);
-      flush stdout)
-    targets;
-  0
+  with_telemetry telemetry (fun () ->
+      List.iter
+        (fun (s : Core.Experiment.spec) ->
+          let out = s.Core.Experiment.report profile in
+          Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
+            s.Core.Experiment.paper_ref s.Core.Experiment.title
+            out.Core.Experiment.text;
+          if telemetry.metrics_file <> None then
+            Printf.printf "--- per-compartment metrics (%s) ---\n%s\n\n"
+              s.Core.Experiment.id
+              (Core.Report.metrics_digest ());
+          flush stdout)
+        targets;
+      0)
 
 let run_attacks () =
   List.iter
@@ -64,6 +113,30 @@ let iters_opt =
     & info [ "iterations" ] ~docv:"N"
         ~doc:"Latency samples per configuration (paper: 1000000).")
 
+let metrics_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the telemetry registry and write a Prometheus text \
+           exposition of every counter/gauge/histogram to $(docv) after the \
+           run.")
+
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Enable span collection and write a Chrome trace_event JSON file \
+           (load it in chrome://tracing or Perfetto) to $(docv) after the \
+           run.")
+
+let telemetry_term =
+  let make metrics_file trace_file = { metrics_file; trace_file } in
+  Term.(const make $ metrics_opt $ trace_opt)
+
 let ids_arg =
   Arg.(
     value & pos_all string []
@@ -74,7 +147,7 @@ let run_cmd =
   let doc = "regenerate tables/figures" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run_experiment $ ids_arg $ quick_flag $ iters_opt)
+    Term.(const run_experiment $ ids_arg $ quick_flag $ iters_opt $ telemetry_term)
 
 let list_cmd =
   let doc = "list available experiments" in
@@ -83,6 +156,24 @@ let list_cmd =
 let attack_cmd =
   let doc = "run the Fig. 3 compartmentalization attacks" in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attacks $ const ())
+
+(* One top-level command per experiment, so
+   `netrepro fig4 --metrics out.prom --trace-json out.json` works
+   without the `run` prefix. *)
+let experiment_cmds =
+  List.map
+    (fun (s : Core.Experiment.spec) ->
+      let doc =
+        Printf.sprintf "%s (%s)" s.Core.Experiment.title
+          s.Core.Experiment.paper_ref
+      in
+      Cmd.v
+        (Cmd.info s.Core.Experiment.id ~doc)
+        Term.(
+          const (fun quick iterations telemetry ->
+              run_experiment [ s.Core.Experiment.id ] quick iterations telemetry)
+          $ quick_flag $ iters_opt $ telemetry_term))
+    Core.Experiment.all
 
 let default = Term.(ret (const (`Help (`Pager, None))))
 
@@ -94,4 +185,7 @@ let () =
          Compartmentalized Network Stack' (DATE 2025) on a simulated \
          Morello/CheriBSD system."
   in
-  exit (Cmd.eval' (Cmd.group ~default info [ run_cmd; list_cmd; attack_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          ([ run_cmd; list_cmd; attack_cmd ] @ experiment_cmds)))

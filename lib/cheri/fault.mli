@@ -26,6 +26,28 @@ type t = {
 exception Capability_fault of t
 
 val raise_fault : kind -> address:int -> detail:string -> 'a
+(** Also bumps [capability_faults_total{cvm,kind}] in
+    {!Dsim.Metrics.default} (when enabled), attributing the fault to the
+    ambient {!current_context}. *)
+
+val all_kinds : kind list
+
+val kind_label : kind -> string
+(** Short snake_case form for metric labels ("out_of_bounds", ...). *)
+
+(** {1 Compartment attribution}
+
+    The capability machinery has no notion of cVMs; the Intravisor
+    brackets each trampoline with {!set_context} so faults are
+    accounted per-compartment. Defaults to ["host"]. *)
+
+val set_context : string -> unit
+val current_context : unit -> string
+
+val register_compartment : string -> unit
+(** Pre-register zero-valued [capability_faults_total] series for every
+    fault kind under this compartment label. *)
+
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -6,6 +6,16 @@ type t = {
 
 let granule = 16
 
+let tag_writes =
+  Dsim.Metrics.counter Dsim.Metrics.default
+    ~help:"Capabilities stored to memory (granule tag set)."
+    "cheri_tag_writes_total"
+
+let tag_clears =
+  Dsim.Metrics.counter Dsim.Metrics.default
+    ~help:"Granule tags destroyed by raw data writes."
+    "cheri_tag_clears_total"
+
 let create ~size =
   if size <= 0 then invalid_arg "Tagged_memory.create: size must be positive";
   {
@@ -27,7 +37,8 @@ let clear_tags t ~addr ~len =
     for g = first to last do
       if Bytes.get t.tags g <> '\000' then begin
         Bytes.set t.tags g '\000';
-        Hashtbl.remove t.caps (g * granule)
+        Hashtbl.remove t.caps (g * granule);
+        Dsim.Metrics.incr tag_clears
       end
     done
   end
@@ -122,6 +133,7 @@ let store_cap t ~cap ~addr stored =
     Fault.raise_fault Permission_violation ~address:addr
       ~detail:"store of a local (non-global) capability to memory";
   Hashtbl.replace t.caps addr stored;
+  if Capability.is_tagged stored then Dsim.Metrics.incr tag_writes;
   Bytes.set t.tags (addr / granule) (if Capability.is_tagged stored then '\001' else '\000')
 
 let load_cap t ~cap ~addr =

@@ -53,11 +53,19 @@ val ablation_udp :
 
 (** {1 Rendered runners} *)
 
+type output = {
+  text : string;  (** Human-readable table / boxplot rendering. *)
+  summary : Dsim.Json.t;
+      (** Machine-readable digest of the same run (one JSON value per
+          table row / boxplot / attack report) — what the bench harness
+          writes to its [BENCH_<id>.json] files. *)
+}
+
 type spec = {
   id : string;  (** e.g. "table2", "fig4". *)
   title : string;
   paper_ref : string;
-  render : profile -> string;
+  report : profile -> output;
 }
 
 val all : spec list

@@ -53,6 +53,11 @@ let setup_connected ?(seed = 45L) ~mode ~write_size () =
     ~until:(Dsim.Time.add (Dsim.Engine.now engine) (Dsim.Time.ms 100));
   (mt, fd, buf)
 
+(* At most this many iteration spans are recorded per configuration, so
+   paper-grade runs do not swamp the trace with a million identical
+   intervals. *)
+let span_sample_limit = 512
+
 let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100)
     ?(seed = 45L) path =
   let mode =
@@ -60,6 +65,14 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
     | Baseline | Scenario1 -> `Direct
     | Scenario2 { contended } -> `S2 contended
   in
+  let label = path_label path in
+  let latency_metric =
+    Dsim.Metrics.histogram Dsim.Metrics.default
+      ~help:"ff_write latency samples (pre-IQR-filter), in nanoseconds."
+      ~labels:[ ("path", label) ]
+      ~lo:50. ~ratio:1.3 ~buckets:48 "ff_write_latency_ns"
+  in
+  let span_tid = Dsim.Span.track Dsim.Span.default label in
   let mt, fd, buf = setup_connected ~seed ~mode ~write_size () in
   let built = mt.Scenarios.mt_built in
   let engine = built.Scenarios.engine in
@@ -106,7 +119,8 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
            *. Dsim.Rng.exponential rng ~mean:cm.Dsim.Cost_model.outlier_scale_mean)
       else jittered
     in
-    Dsim.Stats.add raw final
+    Dsim.Stats.add raw final;
+    Dsim.Metrics.observe latency_metric final
   in
   let done_flag = ref false in
   let do_ff_write k =
@@ -151,15 +165,32 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
                                   cm.Dsim.Cost_model.tramp_oneway_ns)
                              k))))))
   in
+  let run_span =
+    Dsim.Span.start Dsim.Span.default
+      ~at:(Dsim.Engine.now engine)
+      ~cat:"measurement" ~tid:span_tid "run"
+  in
   let rec iterate remaining =
     if remaining = 0 then done_flag := true
     else begin
+      let sp =
+        if iterations - remaining < span_sample_limit then
+          Some
+            (Dsim.Span.start Dsim.Span.default
+               ~at:(Dsim.Engine.now engine)
+               ~cat:"ff_write" ~tid:span_tid "iteration")
+        else None
+      in
       let v1, c1 = clock () in
       ignore
         (Dsim.Engine.schedule engine ~delay:(Dsim.Time.of_float_ns c1) (fun () ->
              do_ff_write (fun () ->
                  let v2, c2 = clock () in
                  record v1 v2;
+                 Option.iter
+                   (Dsim.Span.finish Dsim.Span.default
+                      ~at:(Dsim.Engine.now engine))
+                   sp;
                  ignore
                    (Dsim.Engine.schedule engine
                       ~delay:(Dsim.Time.add interval (Dsim.Time.of_float_ns c2))
@@ -171,6 +202,7 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
     Dsim.Engine.run engine
       ~until:(Dsim.Time.add (Dsim.Engine.now engine) (Dsim.Time.ms 50))
   done;
+  Dsim.Span.finish Dsim.Span.default ~at:(Dsim.Engine.now engine) run_span;
   built.Scenarios.stop ();
   let filtered = Dsim.Stats.iqr_filter raw in
   {

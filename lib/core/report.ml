@@ -19,6 +19,52 @@ let table ~header ~rows =
   in
   String.concat "\n" (render_row header :: sep :: List.map render_row rows)
 
+let metric_value = function
+  | Dsim.Metrics.Counter_value n -> string_of_int n
+  | Dsim.Metrics.Gauge_value n -> string_of_int n
+  | Dsim.Metrics.Histogram_value { n; sum } ->
+    Printf.sprintf "n=%d sum=%.0f" n sum
+
+(* Per-compartment digest: every cvm-labelled series from the registry,
+   grouped by compartment. Zero-valued counters are elided (the
+   pre-registered fault kinds would otherwise drown the table) except
+   trampoline_crossings, which is the headline per-cVM number. *)
+let metrics_digest ?(registry = Dsim.Metrics.default) () =
+  let interesting (name, _labels, v) =
+    String.equal name "trampoline_crossings_total"
+    ||
+    match v with
+    | Dsim.Metrics.Counter_value 0 -> false
+    | Dsim.Metrics.Gauge_value 0 -> false
+    | Dsim.Metrics.Histogram_value { n = 0; _ } -> false
+    | _ -> true
+  in
+  let cvm_series =
+    List.filter_map
+      (fun ((name, labels, v) as s) ->
+        match List.assoc_opt "cvm" labels with
+        | Some cvm when interesting s ->
+          let rest = List.filter (fun (k, _) -> k <> "cvm") labels in
+          let qualifier =
+            match rest with
+            | [] -> ""
+            | _ ->
+              "{"
+              ^ String.concat ","
+                  (List.map (fun (k, value) -> k ^ "=" ^ value) rest)
+              ^ "}"
+          in
+          Some (cvm, name ^ qualifier, metric_value v)
+        | _ -> None)
+      (Dsim.Metrics.snapshot registry)
+  in
+  match cvm_series with
+  | [] -> "(no per-compartment metrics recorded)"
+  | _ ->
+    table
+      ~header:[ "Compartment"; "Metric"; "Value" ]
+      ~rows:(List.map (fun (cvm, m, v) -> [ cvm; m; v ]) cvm_series)
+
 let ascii_boxplot ~labels_and_boxes ?(width = 64) ?(log_scale = false) () =
   let open Dsim.Stats in
   match labels_and_boxes with

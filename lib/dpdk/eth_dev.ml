@@ -2,9 +2,65 @@ type t = {
   port : Nic.Igb.port;
   rx_pool : Mbuf.pool;
   in_flight : (int, Mbuf.t) Hashtbl.t;  (* posted addr -> owning mbuf *)
+  m_rx_bursts : Dsim.Metrics.counter;
+  m_tx_bursts : Dsim.Metrics.counter;
+  m_rx_packets : Dsim.Metrics.counter;
+  m_tx_packets : Dsim.Metrics.counter;
+  m_rx_bytes : Dsim.Metrics.counter;
+  m_tx_bytes : Dsim.Metrics.counter;
+  m_drops : Dsim.Metrics.gauge;
+  m_tx_backlog : Dsim.Metrics.gauge;
+  m_rx_free : Dsim.Metrics.gauge;
 }
 
-let attach _eal port ~rx_pool = { port; rx_pool; in_flight = Hashtbl.create 512 }
+let attach _eal port ~rx_pool =
+  let reg = Dsim.Metrics.default in
+  let p = [ ("port", Nic.Mac_addr.to_string (Nic.Igb.mac port)) ] in
+  let dir d = ("dir", d) :: p in
+  {
+    port;
+    rx_pool;
+    in_flight = Hashtbl.create 512;
+    m_rx_bursts =
+      Dsim.Metrics.counter reg ~help:"Non-empty PMD bursts, by direction."
+        ~labels:(dir "rx") "dpdk_bursts_total";
+    m_tx_bursts =
+      Dsim.Metrics.counter reg ~help:"Non-empty PMD bursts, by direction."
+        ~labels:(dir "tx") "dpdk_bursts_total";
+    m_rx_packets =
+      Dsim.Metrics.counter reg ~help:"Packets through the PMD, by direction."
+        ~labels:(dir "rx") "dpdk_packets_total";
+    m_tx_packets =
+      Dsim.Metrics.counter reg ~help:"Packets through the PMD, by direction."
+        ~labels:(dir "tx") "dpdk_packets_total";
+    m_rx_bytes =
+      Dsim.Metrics.counter reg
+        ~help:"Frame bytes DMAed between tagged memory and the wire."
+        ~labels:(dir "rx") "nic_dma_bytes_total";
+    m_tx_bytes =
+      Dsim.Metrics.counter reg
+        ~help:"Frame bytes DMAed between tagged memory and the wire."
+        ~labels:(dir "tx") "nic_dma_bytes_total";
+    m_drops =
+      Dsim.Metrics.gauge reg
+        ~help:"Device drops so far (RX ring empty + MAC filter + TX ring full)."
+        ~labels:p "nic_drops";
+    m_tx_backlog =
+      Dsim.Metrics.gauge reg ~help:"TX descriptors posted but not reaped."
+        ~labels:p "dpdk_tx_ring_backlog";
+    m_rx_free =
+      Dsim.Metrics.gauge reg ~help:"Empty RX descriptors available to the device."
+        ~labels:p "dpdk_rx_ring_free";
+  }
+
+let sync_rings t =
+  if Dsim.Metrics.enabled Dsim.Metrics.default then begin
+    Dsim.Metrics.set t.m_tx_backlog (Nic.Igb.tx_in_flight t.port);
+    Dsim.Metrics.set t.m_rx_free (Nic.Igb.rx_free_slots t.port);
+    let s = Nic.Igb.stats t.port in
+    Dsim.Metrics.set t.m_drops
+      Nic.Port_stats.(s.rx_no_desc + s.rx_filtered + s.tx_ring_full)
+  end
 
 let port t = t.port
 let rx_pool t = t.rx_pool
@@ -59,20 +115,35 @@ let rx_burst t ~max =
   in
   let mbufs = List.filter_map take completions in
   restock t;
+  if mbufs <> [] then begin
+    Dsim.Metrics.incr t.m_rx_bursts;
+    Dsim.Metrics.incr t.m_rx_packets ~by:(List.length mbufs);
+    Dsim.Metrics.incr t.m_rx_bytes
+      ~by:(List.fold_left (fun n m -> n + Mbuf.data_len m) 0 mbufs)
+  end;
+  sync_rings t;
   mbufs
 
 let tx_burst t mbufs =
   reap t;
-  let rec go = function
-    | [] -> []
+  let rec go sent bytes = function
+    | [] -> (sent, bytes, [])
     | m :: rest ->
       let addr = Mbuf.data_addr m in
-      if Nic.Igb.tx_enqueue t.port ~addr ~len:(Mbuf.data_len m) then begin
+      let len = Mbuf.data_len m in
+      if Nic.Igb.tx_enqueue t.port ~addr ~len then begin
         Hashtbl.replace t.in_flight addr m;
-        go rest
+        go (sent + 1) (bytes + len) rest
       end
-      else m :: rest
+      else (sent, bytes, m :: rest)
   in
-  go mbufs
+  let sent, bytes, leftover = go 0 0 mbufs in
+  if sent > 0 then begin
+    Dsim.Metrics.incr t.m_tx_bursts;
+    Dsim.Metrics.incr t.m_tx_packets ~by:sent;
+    Dsim.Metrics.incr t.m_tx_bytes ~by:bytes
+  end;
+  sync_rings t;
+  leftover
 
 let tx_backlog t = Nic.Igb.tx_in_flight t.port

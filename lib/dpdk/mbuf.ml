@@ -3,6 +3,7 @@ type pool = {
   mem : Cheri.Tagged_memory.t;
   free_list : t Queue.t;
   capacity : int;
+  in_use_metric : Dsim.Metrics.gauge;
 }
 
 and t = {
@@ -22,7 +23,16 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
   let zone = Eal.memzone_reserve eal ~name:("mbuf-" ^ name) ~size:(n * buf_len) in
   let mem = Eal.mem eal in
   let pool =
-    { name; mem; free_list = Queue.create (); capacity = n }
+    {
+      name;
+      mem;
+      free_list = Queue.create ();
+      capacity = n;
+      in_use_metric =
+        Dsim.Metrics.gauge Dsim.Metrics.default
+          ~help:"Mbufs currently allocated from the pool."
+          ~labels:[ ("pool", name) ] "dpdk_mbuf_in_use";
+    }
   in
   for i = 0 to n - 1 do
     let off = i * buf_len in
@@ -59,6 +69,7 @@ let alloc p =
     let m = Queue.pop p.free_list in
     m.in_use <- true;
     reset m;
+    Dsim.Metrics.add p.in_use_metric 1;
     Some m
   end
 
@@ -67,6 +78,7 @@ let free m =
     invalid_arg
       (Printf.sprintf "Mbuf.free: double free of buffer 0x%x" m.buf_addr);
   m.in_use <- false;
+  Dsim.Metrics.add m.pool.in_use_metric (-1);
   Queue.push m m.pool.free_list
 
 let buf_addr m = m.buf_addr

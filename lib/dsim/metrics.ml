@@ -1,0 +1,304 @@
+type labels = (string * string) list
+
+(* Shared on/off flag: every instrument holds the registry's switch so a
+   hot-path [incr] is one load and one branch when telemetry is off. *)
+type switch = { mutable on : bool }
+
+type counter = { c_sw : switch; mutable count : int }
+type gauge = { g_sw : switch; mutable level : int }
+
+type histogram = {
+  h_sw : switch;
+  h_lo : float;
+  h_ratio : float;
+  h_log_ratio : float;
+  h_counts : int array;
+  mutable h_sum : float;
+  mutable h_n : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type series = { s_name : string; s_labels : labels; s_instrument : instrument }
+
+type t = {
+  sw : switch;
+  table : (string, series) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+  meta : (string, string * string) Hashtbl.t;  (* name -> (type, help) *)
+}
+
+let create ?(enabled = false) () =
+  {
+    sw = { on = enabled };
+    table = Hashtbl.create 64;
+    order = [];
+    meta = Hashtbl.create 32;
+  }
+
+let default = create ()
+
+let enabled t = t.sw.on
+let set_enabled t b = t.sw.on <- b
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+    ^ "}"
+
+let series_key name labels = name ^ render_labels labels
+
+let type_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t ~name ~labels ~help make =
+  let labels = normalize_labels labels in
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.table key with
+  | Some s -> s.s_instrument
+  | None ->
+    let instrument = make () in
+    if not (Hashtbl.mem t.meta name) then
+      Hashtbl.replace t.meta name (type_name instrument, help)
+    else begin
+      let expected, _ = Hashtbl.find t.meta name in
+      if not (String.equal expected (type_name instrument)) then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name expected)
+    end;
+    Hashtbl.replace t.table key { s_name = name; s_labels = labels; s_instrument = instrument };
+    t.order <- key :: t.order;
+    instrument
+
+let counter t ?(help = "") ?(labels = []) name =
+  match register t ~name ~labels ~help (fun () -> Counter { c_sw = t.sw; count = 0 }) with
+  | Counter c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is a %s" name (type_name other))
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match register t ~name ~labels ~help (fun () -> Gauge { g_sw = t.sw; level = 0 }) with
+  | Gauge g -> g
+  | other ->
+    invalid_arg (Printf.sprintf "Metrics.gauge: %s is a %s" name (type_name other))
+
+let histogram t ?(help = "") ?(labels = []) ?(lo = 1.) ?(ratio = 2.)
+    ?(buckets = 40) name =
+  if lo <= 0. || ratio <= 1. || buckets < 1 then
+    invalid_arg "Metrics.histogram: need lo > 0, ratio > 1, buckets >= 1";
+  let make () =
+    Histogram
+      {
+        h_sw = t.sw;
+        h_lo = lo;
+        h_ratio = ratio;
+        h_log_ratio = Float.log ratio;
+        h_counts = Array.make buckets 0;
+        h_sum = 0.;
+        h_n = 0;
+      }
+  in
+  match register t ~name ~labels ~help make with
+  | Histogram h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is a %s" name (type_name other))
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path updates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) c = if c.c_sw.on then c.count <- c.count + by
+let value c = c.count
+
+let set g v = if g.g_sw.on then g.level <- v
+let add g d = if g.g_sw.on then g.level <- g.level + d
+let level g = g.level
+
+let bucket_index h x =
+  if x < h.h_lo then 0
+  else begin
+    let i = int_of_float (Float.floor (Float.log (x /. h.h_lo) /. h.h_log_ratio)) in
+    min i (Array.length h.h_counts - 1)
+  end
+
+let observe h x =
+  if h.h_sw.on then begin
+    let i = bucket_index h x in
+    h.h_counts.(i) <- h.h_counts.(i) + 1;
+    h.h_sum <- h.h_sum +. x;
+    h.h_n <- h.h_n + 1
+  end
+
+let observations h = h.h_n
+let sum h = h.h_sum
+
+(* Upper bound of bucket [i]: lo * ratio^(i+1); the last bucket absorbs
+   everything above the ladder, so its bound reports as infinity. *)
+let bucket_bound h i =
+  if i = Array.length h.h_counts - 1 then Float.infinity
+  else h.h_lo *. (h.h_ratio ** float_of_int (i + 1))
+
+let bucket_lower h i = if i = 0 then 0. else h.h_lo *. (h.h_ratio ** float_of_int i)
+
+let percentile h p =
+  if h.h_n = 0 then 0.
+  else begin
+    let target =
+      Float.max 1. (Float.of_int h.h_n *. Float.min 100. (Float.max 0. p) /. 100.)
+    in
+    let rec walk i cum =
+      if i >= Array.length h.h_counts then bucket_lower h (Array.length h.h_counts - 1)
+      else begin
+        let c = h.h_counts.(i) in
+        if Float.of_int (cum + c) >= target && c > 0 then begin
+          (* Interpolate geometrically inside the bucket. *)
+          let frac = (target -. Float.of_int cum) /. Float.of_int c in
+          let lo = Float.max h.h_lo (bucket_lower h i) in
+          let hi =
+            if i = Array.length h.h_counts - 1 then lo *. h.h_ratio
+            else bucket_bound h i
+          in
+          lo *. ((hi /. lo) ** frac)
+        end
+        else walk (i + 1) (cum + c)
+      end
+    in
+    walk 0 0
+  end
+
+let mean h = if h.h_n = 0 then 0. else h.h_sum /. float_of_int h.h_n
+
+(* ------------------------------------------------------------------ *)
+(* Registry traversal                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of int
+  | Histogram_value of { n : int; sum : float }
+
+let value_of = function
+  | Counter c -> Counter_value c.count
+  | Gauge g -> Gauge_value g.level
+  | Histogram h -> Histogram_value { n = h.h_n; sum = h.h_sum }
+
+let snapshot t =
+  List.rev_map
+    (fun key ->
+      let s = Hashtbl.find t.table key in
+      (s.s_name, s.s_labels, value_of s.s_instrument))
+    t.order
+
+let series_count t = Hashtbl.length t.table
+
+let find_counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.table (series_key name (normalize_labels labels)) with
+  | Some { s_instrument = Counter c; _ } -> Some c
+  | _ -> None
+
+let find_gauge t ?(labels = []) name =
+  match Hashtbl.find_opt t.table (series_key name (normalize_labels labels)) with
+  | Some { s_instrument = Gauge g; _ } -> Some g
+  | _ -> None
+
+let find_histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.table (series_key name (normalize_labels labels)) with
+  | Some { s_instrument = Histogram h; _ } -> Some h
+  | _ -> None
+
+let reset t =
+  Hashtbl.iter
+    (fun _ s ->
+      match s.s_instrument with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.level <- 0
+      | Histogram h ->
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+        h.h_sum <- 0.;
+        h.h_n <- 0)
+    t.table
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (String.escaped v)) labels)
+    ^ "}"
+
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prom_bound f = if f = Float.infinity then "+Inf" else prom_float f
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  (* Group series under their metric name, preserving registration
+     order of both names and series. *)
+  let by_name = Hashtbl.create 32 in
+  let name_order = ref [] in
+  List.iter
+    (fun key ->
+      let s = Hashtbl.find t.table key in
+      (match Hashtbl.find_opt by_name s.s_name with
+      | None ->
+        Hashtbl.replace by_name s.s_name [ s ];
+        name_order := s.s_name :: !name_order
+      | Some group -> Hashtbl.replace by_name s.s_name (s :: group)))
+    (List.rev t.order);
+  List.iter
+    (fun name ->
+      let group = List.rev (Hashtbl.find by_name name) in
+      let typ, help =
+        match Hashtbl.find_opt t.meta name with
+        | Some m -> m
+        | None -> ("untyped", "")
+      in
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+      List.iter
+        (fun s ->
+          match s.s_instrument with
+          | Counter c ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" name (prom_labels s.s_labels) c.count)
+          | Gauge g ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %d\n" name (prom_labels s.s_labels) g.level)
+          | Histogram h ->
+            let cum = ref 0 in
+            Array.iteri
+              (fun i n ->
+                cum := !cum + n;
+                let labels =
+                  s.s_labels @ [ ("le", prom_bound (bucket_bound h i)) ]
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" name (prom_labels labels) !cum))
+              h.h_counts;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum%s %s\n" name (prom_labels s.s_labels)
+                 (prom_float h.h_sum));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count%s %d\n" name (prom_labels s.s_labels) h.h_n))
+        group)
+    (List.rev !name_order);
+  Buffer.contents buf

@@ -1,0 +1,195 @@
+type args = (string * string) list
+
+type kind = Complete | Instant
+
+type record_ = {
+  r_name : string;
+  r_cat : string;
+  r_tid : int;
+  r_ts : Time.t;
+  mutable r_dur : Time.t;
+  r_depth : int;
+  r_kind : kind;
+  r_args : args;
+}
+
+type span = Disabled | Open of record_
+
+type completed = {
+  name : string;
+  cat : string;
+  tid : int;
+  begin_ns : float;
+  dur_ns : float;
+  depth : int;
+  args : args;
+}
+
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  mutable count : int;
+  mutable events : record_ list;  (* finished, most recent first *)
+  depths : (int, int) Hashtbl.t;
+  mutable tracks : (int * string) list;
+  mutable next_tid : int;
+}
+
+let create ?(enabled = false) ?(capacity = 200_000) () =
+  {
+    enabled;
+    capacity;
+    count = 0;
+    events = [];
+    depths = Hashtbl.create 8;
+    tracks = [];
+    next_tid = 1;
+  }
+
+let default = create ()
+
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let clear t =
+  t.count <- 0;
+  t.events <- [];
+  Hashtbl.reset t.depths;
+  t.tracks <- [];
+  t.next_tid <- 1
+
+let track t name =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  t.tracks <- (tid, name) :: t.tracks;
+  tid
+
+let depth_of t tid = Option.value ~default:0 (Hashtbl.find_opt t.depths tid)
+
+let start t ~at ?(cat = "sim") ?(tid = 0) ?(args = []) name =
+  if (not t.enabled) || t.count >= t.capacity then Disabled
+  else begin
+    let depth = depth_of t tid in
+    Hashtbl.replace t.depths tid (depth + 1);
+    t.count <- t.count + 1;
+    Open
+      {
+        r_name = name;
+        r_cat = cat;
+        r_tid = tid;
+        r_ts = at;
+        r_dur = Time.zero;
+        r_depth = depth;
+        r_kind = Complete;
+        r_args = args;
+      }
+  end
+
+let finish t ~at span =
+  match span with
+  | Disabled -> ()
+  | Open r ->
+    r.r_dur <- Time.sub at r.r_ts;
+    let depth = depth_of t r.r_tid in
+    if depth > 0 then Hashtbl.replace t.depths r.r_tid (depth - 1);
+    t.events <- r :: t.events
+
+let instant t ~at ?(cat = "sim") ?(tid = 0) ?(args = []) name =
+  if t.enabled && t.count < t.capacity then begin
+    t.count <- t.count + 1;
+    t.events <-
+      {
+        r_name = name;
+        r_cat = cat;
+        r_tid = tid;
+        r_ts = at;
+        r_dur = Time.zero;
+        r_depth = depth_of t tid;
+        r_kind = Instant;
+        r_args = args;
+      }
+      :: t.events
+  end
+
+let completed t =
+  List.rev_map
+    (fun r ->
+      {
+        name = r.r_name;
+        cat = r.r_cat;
+        tid = r.r_tid;
+        begin_ns = Time.to_float_ns r.r_ts;
+        dur_ns = Time.to_float_ns r.r_dur;
+        depth = r.r_depth;
+        args = r.r_args;
+      })
+    t.events
+  |> List.sort (fun a b -> Float.compare a.begin_ns b.begin_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* chrome://tracing and Perfetto expect microsecond timestamps; virtual
+   nanoseconds map to fractional us. *)
+let us time = Json.Float (Time.to_float_ns time /. 1_000.)
+
+let event_json r =
+  let args =
+    match r.r_args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)) ]
+  in
+  match r.r_kind with
+  | Complete ->
+    Json.Obj
+      ([
+         ("name", Json.String r.r_name);
+         ("cat", Json.String r.r_cat);
+         ("ph", Json.String "X");
+         ("pid", Json.Int 1);
+         ("tid", Json.Int r.r_tid);
+         ("ts", us r.r_ts);
+         ("dur", us r.r_dur);
+       ]
+      @ args)
+  | Instant ->
+    Json.Obj
+      ([
+         ("name", Json.String r.r_name);
+         ("cat", Json.String r.r_cat);
+         ("ph", Json.String "i");
+         ("s", Json.String "t");
+         ("pid", Json.Int 1);
+         ("tid", Json.Int r.r_tid);
+         ("ts", us r.r_ts);
+       ]
+      @ args)
+
+let to_chrome_trace t =
+  let metadata =
+    List.rev_map
+      (fun (tid, name) ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String name) ]);
+          ])
+      t.tracks
+  in
+  let events =
+    t.events
+    |> List.sort (fun a b ->
+           match Time.compare a.r_ts b.r_ts with
+           (* Equal start: the shallower (outer) span first, so viewers
+              that nest by order agree with the depth we tracked. *)
+           | 0 -> compare a.r_depth b.r_depth
+           | c -> c)
+    |> List.map event_json
+  in
+  Json.Obj [ ("traceEvents", Json.List (metadata @ events)) ]
+
+let to_chrome_json t = Json.to_string (to_chrome_trace t)

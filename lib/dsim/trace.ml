@@ -1,4 +1,4 @@
-type level = Debug | Info | Warn
+type level = Debug | Info | Warn | Error
 
 type event = { at : Time.t; level : level; component : string; message : string }
 
@@ -26,6 +26,11 @@ let events t = List.rev t.events
 let find t ~component =
   List.filter (fun e -> String.equal e.component component) (events t)
 
+let count t ~component =
+  List.fold_left
+    (fun n e -> if String.equal e.component component then n + 1 else n)
+    0 t.events
+
 let clear t =
   t.events <- [];
   t.count <- 0
@@ -34,6 +39,7 @@ let pp_level fmt = function
   | Debug -> Format.pp_print_string fmt "debug"
   | Info -> Format.pp_print_string fmt "info"
   | Warn -> Format.pp_print_string fmt "warn"
+  | Error -> Format.pp_print_string fmt "error"
 
 let pp_event fmt e =
   Format.fprintf fmt "[%a] %a %s: %s" Time.pp e.at pp_level e.level e.component

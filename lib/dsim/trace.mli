@@ -4,7 +4,10 @@
     assert on the recorded sequence, and the examples print it. Tracing
     is off by default so the 1M-iteration measurement loops pay nothing. *)
 
-type level = Debug | Info | Warn
+type level = Debug | Info | Warn | Error
+(** [Warn] is for recoverable oddities (drops, retries); [Error] is for
+    events that terminate the operation being traced (faults, attack
+    traps, resets). *)
 
 type event = { at : Time.t; level : level; component : string; message : string }
 
@@ -31,6 +34,10 @@ val events : t -> event list
 (** Chronological order. *)
 
 val find : t -> component:string -> event list
+
+val count : t -> component:string -> int
+(** [List.length (find t ~component)] without building the list. *)
+
 val clear : t -> unit
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> t -> unit

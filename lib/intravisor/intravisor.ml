@@ -87,7 +87,13 @@ let trampoline t ~into f =
     ~addr:(Cheri.Capability.base entry) ~len:4;
   t.trampolines <- t.trampolines + 2 (* in + out *);
   Cvm.note_trampoline into;
-  let result = f () in
+  (* Run the body under the target compartment's fault-attribution
+     context; restored even when the body traps. *)
+  let saved = Cheri.Fault.current_context () in
+  Cheri.Fault.set_context (Cvm.name into);
+  let result =
+    Fun.protect ~finally:(fun () -> Cheri.Fault.set_context saved) f
+  in
   (result, trampoline_cost_ns t)
 
 let total_trampolines t = t.trampolines

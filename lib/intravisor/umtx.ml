@@ -12,10 +12,16 @@ type t = {
   mutable acquisitions : int;
   mutable contended : int;
   mutable total_wait_ns : float;
+  acq_metric : Dsim.Metrics.counter;
+  cont_metric : Dsim.Metrics.counter;
+  wait_metric : Dsim.Metrics.histogram;
 }
+
+let policy_label = function Barging -> "barging" | Fifo -> "fifo"
 
 let create engine ?(policy = Barging) ?(uncontended_ns = 75.) ?(wake_ns = 350.)
     () =
+  let labels = [ ("policy", policy_label policy) ] in
   {
     engine;
     policy;
@@ -26,6 +32,17 @@ let create engine ?(policy = Barging) ?(uncontended_ns = 75.) ?(wake_ns = 350.)
     acquisitions = 0;
     contended = 0;
     total_wait_ns = 0.;
+    acq_metric =
+      Dsim.Metrics.counter Dsim.Metrics.default
+        ~help:"umtx mutex acquisitions." ~labels "umtx_acquisitions_total";
+    cont_metric =
+      Dsim.Metrics.counter Dsim.Metrics.default
+        ~help:"umtx acquisitions that went through the kernel wait queue."
+        ~labels "umtx_contended_total";
+    wait_metric =
+      Dsim.Metrics.histogram Dsim.Metrics.default
+        ~help:"Time waiters spent blocked on the umtx, in nanoseconds."
+        ~labels ~lo:100. ~ratio:2. ~buckets:24 "umtx_wait_ns";
   }
 
 let policy t = t.policy
@@ -41,6 +58,7 @@ let acquire t ~owner k =
   | None ->
     t.owner <- Some owner;
     t.acquisitions <- t.acquisitions + 1;
+    Dsim.Metrics.incr t.acq_metric;
     k ~wait_ns:0.
   | Some _ ->
     let w = { name = owner; since = Dsim.Engine.now t.engine; k } in
@@ -54,6 +72,7 @@ let try_acquire t ~owner =
   | None ->
     t.owner <- Some owner;
     t.acquisitions <- t.acquisitions + 1;
+    Dsim.Metrics.incr t.acq_metric;
     true
   | Some _ -> false
 
@@ -69,6 +88,8 @@ let release t =
       t.owner <- Some next.name;
       t.acquisitions <- t.acquisitions + 1;
       t.contended <- t.contended + 1;
+      Dsim.Metrics.incr t.acq_metric;
+      Dsim.Metrics.incr t.cont_metric;
       (* The kernel wake costs [wake_ns] before the waiter resumes. *)
       ignore
         (Dsim.Engine.schedule t.engine
@@ -79,4 +100,5 @@ let release t =
                  (Dsim.Time.sub (Dsim.Engine.now t.engine) next.since)
              in
              t.total_wait_ns <- t.total_wait_ns +. waited;
+             Dsim.Metrics.observe t.wait_metric waited;
              next.k ~wait_ns:waited)))

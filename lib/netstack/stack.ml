@@ -38,6 +38,70 @@ type counters = {
 
 type conn_key = int32 * int * int (* remote ip, remote port, local port *)
 
+(* Registry instruments, one set per stack, labelled by host IP.  The
+   plain [counters] record above stays authoritative for tests; these
+   mirror the interesting events into {!Dsim.Metrics.default}. *)
+type stack_metrics = {
+  m_rx_frames : Dsim.Metrics.counter;
+  m_tx_frames : Dsim.Metrics.counter;
+  m_rx_bytes : Dsim.Metrics.counter;
+  m_tx_bytes : Dsim.Metrics.counter;
+  m_rx_dropped : Dsim.Metrics.counter;
+  m_retransmits : Dsim.Metrics.counter;
+  m_delayed_acks : Dsim.Metrics.counter;
+  m_window_stalls : Dsim.Metrics.counter;
+  m_epoll_wakeups : Dsim.Metrics.counter;
+  m_sock_read_bytes : Dsim.Metrics.counter;
+  m_sock_write_bytes : Dsim.Metrics.counter;
+  m_live_sockets : Dsim.Metrics.gauge;
+}
+
+let make_metrics ~ip =
+  let reg = Dsim.Metrics.default in
+  let labels = [ ("host", Ipv4_addr.to_string ip) ] in
+  {
+    m_rx_frames =
+      Dsim.Metrics.counter reg ~help:"Ethernet frames received." ~labels
+        "netstack_rx_frames_total";
+    m_tx_frames =
+      Dsim.Metrics.counter reg ~help:"Ethernet frames transmitted." ~labels
+        "netstack_tx_frames_total";
+    m_rx_bytes =
+      Dsim.Metrics.counter reg ~help:"Frame bytes received." ~labels
+        "netstack_rx_bytes_total";
+    m_tx_bytes =
+      Dsim.Metrics.counter reg ~help:"Frame bytes transmitted." ~labels
+        "netstack_tx_bytes_total";
+    m_rx_dropped =
+      Dsim.Metrics.counter reg ~help:"Received frames dropped by the stack."
+        ~labels "netstack_rx_dropped_total";
+    m_retransmits =
+      Dsim.Metrics.counter reg ~help:"TCP segments retransmitted." ~labels
+        "tcp_retransmits_total";
+    m_delayed_acks =
+      Dsim.Metrics.counter reg
+        ~help:"Pure ACKs sent because the delayed-ack timer expired." ~labels
+        "tcp_delayed_acks_total";
+    m_window_stalls =
+      Dsim.Metrics.counter reg
+        ~help:"Times a sender entered zero-window persist." ~labels
+        "tcp_window_stalls_total";
+    m_epoll_wakeups =
+      Dsim.Metrics.counter reg
+        ~help:"epoll_wait calls that returned at least one event." ~labels
+        "epoll_wakeups_total";
+    m_sock_read_bytes =
+      Dsim.Metrics.counter reg ~help:"Bytes handed to applications via read."
+        ~labels "netstack_sock_read_bytes_total";
+    m_sock_write_bytes =
+      Dsim.Metrics.counter reg
+        ~help:"Bytes accepted from applications via write." ~labels
+        "netstack_sock_write_bytes_total";
+    m_live_sockets =
+      Dsim.Metrics.gauge reg ~help:"Open socket descriptors." ~labels
+        "netstack_live_sockets";
+  }
+
 type t = {
   engine : Dsim.Engine.t;
   mem : Cheri.Tagged_memory.t;
@@ -52,6 +116,7 @@ type t = {
   arp : Arp_cache.t;
   rng : Dsim.Rng.t;
   counters : counters;
+  metrics : stack_metrics;
   mutable ident : int;
   mutable ephemeral : int;
   mutable loops : int;
@@ -76,6 +141,7 @@ let create engine mem dev config =
     sock_ctx = Hashtbl.create 64;
     arp = Arp_cache.create ();
     rng = Dsim.Rng.create ~seed:config.rng_seed;
+    metrics = make_metrics ~ip:config.ip;
     counters =
       {
         rx_frames = 0;
@@ -115,6 +181,10 @@ let record_frame t dir frame =
   | Some c -> Capture.record c ~at:(Dsim.Engine.now t.engine) dir frame
   | None -> ()
 
+let drop_rx t =
+  t.counters.rx_dropped <- t.counters.rx_dropped + 1;
+  Dsim.Metrics.incr t.metrics.m_rx_dropped
+
 (* ------------------------------------------------------------------ *)
 (* Frame transmission                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -132,7 +202,10 @@ let send_frame t ~dst_mac ~ethertype payload =
     Dpdk.Mbuf.write t.mem m ~off:0 frame;
     record_frame t Capture.Tx frame;
     (match Dpdk.Eth_dev.tx_burst t.dev [ m ] with
-    | [] -> t.counters.tx_frames <- t.counters.tx_frames + 1
+    | [] ->
+      t.counters.tx_frames <- t.counters.tx_frames + 1;
+      Dsim.Metrics.incr t.metrics.m_tx_frames;
+      Dsim.Metrics.incr t.metrics.m_tx_bytes ~by:frame_len
     | rejected ->
       List.iter Dpdk.Mbuf.free rejected;
       t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1)
@@ -208,11 +281,18 @@ let handle_event t (sock : Socket.tcp_sock) ~parent event =
     if sock.Socket.closed_by_app then Socket.release t.table sock.Socket.fd
   | Tcp_cb.Data_readable | Tcp_cb.Writable | Tcp_cb.Peer_closed -> ()
 
+let note_stat t (s : Tcp_cb.stat) =
+  match s with
+  | Tcp_cb.Retransmit -> Dsim.Metrics.incr t.metrics.m_retransmits
+  | Tcp_cb.Delayed_ack -> Dsim.Metrics.incr t.metrics.m_delayed_acks
+  | Tcp_cb.Window_stall -> Dsim.Metrics.incr t.metrics.m_window_stalls
+
 let make_ctx t sock ~parent : Tcp_cb.ctx =
   {
     Tcp_cb.now = (fun () -> now t);
     emit = (fun header payload -> emit_tcp t sock.Socket.cb header payload);
     on_event = (fun ev -> handle_event t sock ~parent ev);
+    stat = (fun s -> note_stat t s);
   }
 
 (* Each TCP socket gets one stable ctx, installed on first use; passive
@@ -280,7 +360,7 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
     Socket.Tcp sock
   in
   match Socket.alloc t.table build with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok (fd, Socket.Tcp child) ->
     let ctx = make_ctx t child ~parent:(Some listener) in
     Hashtbl.replace t.sock_ctx fd ctx;
@@ -290,7 +370,7 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
 
 let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Tcp_wire.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok (hdr, payload_off) -> (
     let payload_len = off + len - payload_off in
     let payload = Bytes.sub buf payload_off payload_len in
@@ -316,7 +396,7 @@ let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
 
 let icmp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Icmp.parse buf ~off ~len with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok msg -> (
     match msg with
     | Icmp.Echo_reply { ident; seq; _ } ->
@@ -329,13 +409,13 @@ let icmp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
 
 let udp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Udp.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok (hdr, payload_off) -> (
     match Hashtbl.find_opt t.udp_binds hdr.Udp.dst_port with
-    | None -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+    | None -> drop_rx t
     | Some sock ->
       if Queue.length sock.Socket.rcv_q >= sock.Socket.max_rcv_q then
-        t.counters.rx_dropped <- t.counters.rx_dropped + 1
+        drop_rx t
       else begin
         let data_len = hdr.Udp.length - Udp.header_len in
         let data = Bytes.sub buf payload_off data_len in
@@ -348,7 +428,7 @@ let udp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
 
 let arp_input t buf ~off =
   match Arp.parse buf ~off with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok pkt ->
     if Ipv4_addr.equal pkt.Arp.target_ip t.config.ip then begin
       Arp_cache.insert t.arp ~now:(now t) pkt.Arp.sender_ip pkt.Arp.sender_mac;
@@ -363,7 +443,7 @@ let arp_input t buf ~off =
 
 let ipv4_input t buf ~off ~len =
   match Ipv4.parse buf ~off ~len with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok (ip_hdr, payload_off) ->
     if
       Ipv4_addr.equal ip_hdr.Ipv4.dst t.config.ip
@@ -374,20 +454,22 @@ let ipv4_input t buf ~off ~len =
       | Ipv4.Tcp -> tcp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
       | Ipv4.Icmp -> icmp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
       | Ipv4.Udp -> udp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
-      | Ipv4.Unknown_proto _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+      | Ipv4.Unknown_proto _ -> drop_rx t
     end
 
 let handle_frame t frame =
   t.counters.rx_frames <- t.counters.rx_frames + 1;
+  Dsim.Metrics.incr t.metrics.m_rx_frames;
+  Dsim.Metrics.incr t.metrics.m_rx_bytes ~by:(Bytes.length frame);
   record_frame t Capture.Rx frame;
   match Ethernet.parse frame with
-  | Error _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1
+  | Error _ -> drop_rx t
   | Ok (eth, payload_off) -> (
     match eth.Ethernet.ethertype with
     | Ethernet.Arp -> arp_input t frame ~off:payload_off
     | Ethernet.Ipv4 ->
       ipv4_input t frame ~off:payload_off ~len:(Bytes.length frame - payload_off)
-    | Ethernet.Unknown _ -> t.counters.rx_dropped <- t.counters.rx_dropped + 1)
+    | Ethernet.Unknown _ -> drop_rx t)
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                            *)
@@ -412,6 +494,7 @@ let set_hook t hook = t.hook <- hook
    Scenario 2 this value is the mutex hold time of the main loop. *)
 let loop_once t =
   t.loops <- t.loops + 1;
+  Dsim.Metrics.set t.metrics.m_live_sockets (Socket.live_count t.table);
   let tx_before = t.counters.tx_frames in
   let mbufs = Dpdk.Eth_dev.rx_burst t.dev ~max:t.config.burst in
   let n = List.length mbufs in
@@ -530,6 +613,7 @@ let read t fd ~buf ~off ~len =
       let cb = sock.Socket.cb in
       let n = Ring_buf.read_into cb.Tcp_cb.rcv_buf ~dst:buf ~dst_off:off ~len in
       if n > 0 then begin
+        Dsim.Metrics.incr t.metrics.m_sock_read_bytes ~by:n;
         (* Freed receive space: push a window update if we had been
            sitting on a shrunken advertisement. *)
         if cb.Tcp_cb.segs_since_ack > 0 then
@@ -562,6 +646,7 @@ let write t fd ~buf ~off ~len =
         let n = Ring_buf.write cb.Tcp_cb.snd_buf buf ~off ~len in
         if n = 0 then Error Errno.EAGAIN
         else begin
+          Dsim.Metrics.incr t.metrics.m_sock_write_bytes ~by:n;
           Tcp_output.flush cb (get_ctx t sock);
           Ok n
         end
@@ -650,7 +735,9 @@ let readiness_of t fd =
 
 let epoll_wait t ~epfd ~max =
   let* ep = Socket.find_epoll t.table epfd in
-  Ok (Epoll.wait ep ~readiness:(readiness_of t) ~max)
+  let ready = Epoll.wait ep ~readiness:(readiness_of t) ~max in
+  if ready <> [] then Dsim.Metrics.incr t.metrics.m_epoll_wakeups;
+  Ok ready
 
 (* ------------------------------------------------------------------ *)
 (* UDP                                                                  *)

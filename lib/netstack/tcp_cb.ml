@@ -33,10 +33,16 @@ type event =
   | Conn_reset
   | Closed_done
 
+(* Notable protocol happenings reported up to the owning stack, which
+   mirrors them into its per-host metric counters; the TCP machinery
+   itself stays registry-agnostic. *)
+type stat = Retransmit | Delayed_ack | Window_stall
+
 type ctx = {
   now : unit -> Dsim.Time.t;
   emit : Tcp_wire.header -> bytes -> unit;
   on_event : event -> unit;
+  stat : stat -> unit;
 }
 
 type config = {

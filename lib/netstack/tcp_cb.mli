@@ -31,11 +31,16 @@ type event =
   | Conn_reset
   | Closed_done  (** Reached [Closed]; resources can be reclaimed. *)
 
+(** Notable protocol happenings reported up to the owning stack, which
+    mirrors them into its per-host metric counters. *)
+type stat = Retransmit | Delayed_ack | Window_stall
+
 type ctx = {
   now : unit -> Dsim.Time.t;
   emit : Tcp_wire.header -> bytes -> unit;
       (** Hand a segment to the IP layer. *)
   on_event : event -> unit;  (** Socket-layer notification. *)
+  stat : stat -> unit;  (** Telemetry notification (may be a no-op). *)
 }
 
 type config = {

@@ -127,22 +127,33 @@ let flush cb ctx =
     if
       cb.snd_wnd = 0 && flight_size cb = 0
       && Ring_buf.length cb.snd_buf - sent_bytes cb > 0
-    then arm_rtx cb ctx
+    then begin
+      ctx.stat Window_stall;
+      arm_rtx cb ctx
+    end
   end;
   (* Pure ACK when input processing asked for one. *)
-  let ack_due =
-    cb.need_ack_now
-    || cb.segs_since_ack >= cb.config.ack_every_segments
-    ||
+  let deadline_due =
     match cb.ack_deadline with
     | Some d -> Dsim.Time.(ctx.now () >= d)
     | None -> false
+  in
+  let ack_due =
+    cb.need_ack_now
+    || cb.segs_since_ack >= cb.config.ack_every_segments
+    || deadline_due
   in
   if ack_due then
     match cb.state with
     | Closed | Listen | Syn_sent -> ()
     | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
-    | Closing | Last_ack | Time_wait -> send_ack cb ctx
+    | Closing | Last_ack | Time_wait ->
+      (* An ACK emitted only because the delayed-ack timer expired. *)
+      if
+        deadline_due && (not cb.need_ack_now)
+        && cb.segs_since_ack < cb.config.ack_every_segments
+      then ctx.stat Delayed_ack;
+      send_ack cb ctx
 
 let retransmit_head cb ctx =
   match cb.state with
@@ -161,10 +172,12 @@ let retransmit_head cb ctx =
       }
     in
     cb.retransmissions <- cb.retransmissions + 1;
+    ctx.stat Retransmit;
     note_segment cb ~payload_len:0;
     ctx.emit header Bytes.empty
   | Syn_received ->
     cb.retransmissions <- cb.retransmissions + 1;
+    ctx.stat Retransmit;
     send_syn_ack cb ctx
   | _ ->
     let buffered = Ring_buf.length cb.snd_buf in
@@ -173,11 +186,13 @@ let retransmit_head cb ctx =
     let len = min cb.mss avail in
     if len > 0 then begin
       cb.retransmissions <- cb.retransmissions + 1;
+      ctx.stat Retransmit;
       send_data_segment cb ctx ~seq:cb.snd_una ~len ~push:(len = avail)
     end
     else if cb.fin_sent && Tcp_seq.lt cb.snd_una cb.snd_nxt then begin
       (* Only the FIN is outstanding. *)
       cb.retransmissions <- cb.retransmissions + 1;
+      ctx.stat Retransmit;
       let flags = Tcp_wire.flag ~ack:true ~fin:true () in
       let header = make_header cb ctx ~seq:cb.snd_una ~flags in
       note_segment cb ~payload_len:0;

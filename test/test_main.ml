@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cheri-netstack"
     [
       ("dsim", Test_dsim.suite);
+      ("metrics", Test_metrics.suite);
       ("cheri", Test_cheri.suite);
       ("nic", Test_nic.suite);
       ("dpdk", Test_dpdk.suite);

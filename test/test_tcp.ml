@@ -24,6 +24,7 @@ let make_endpoint clock ~ip ~port ~config =
       Tcp_cb.now = (fun () -> !clock);
       emit = (fun hdr payload -> Queue.push (hdr, payload) outbox);
       on_event = (fun e -> events := e :: !events);
+      stat = (fun _ -> ());
     }
   in
   { cb; ctx; events; outbox }
