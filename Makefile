@@ -11,9 +11,10 @@ test:
 bench:
 	dune exec bench/main.exe -- quick
 
-# Full gate: build, unit/property tests, then a telemetry smoke run —
+# Full gate: build, unit/property tests, then two telemetry smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
-# families in the Prometheus dump.
+# families in the Prometheus dump, and Fig. 5 with flow tracing enabled
+# must produce an analyzable trace covering the measurement stages.
 check:
 	dune build
 	dune runtest
@@ -24,6 +25,15 @@ check:
 	  grep -q "$$m" /tmp/netrepro-check.prom \
 	    || { echo "check: $$m missing from metrics dump"; exit 1; }; \
 	  echo "check: $$m present"; \
+	done
+	dune exec bin/netrepro.exe -- fig5 --quick --iterations 500 \
+	  --flow-trace /tmp/netrepro-check.trace.json --sample-every 8 > /dev/null
+	dune exec bin/netrepro.exe -- analyze /tmp/netrepro-check.trace.json \
+	  > /tmp/netrepro-check.analyze.txt
+	@for s in tramp_in umtx_wait ff_write clock_ret wire; do \
+	  grep -q "$$s" /tmp/netrepro-check.analyze.txt \
+	    || { echo "check: stage $$s missing from flow-trace analysis"; exit 1; }; \
+	  echo "check: stage $$s present"; \
 	done
 	@echo "check: OK"
 

@@ -157,12 +157,19 @@ let regenerate profile ids =
             exit 2)
         ids
   in
+  (* Sampled flow tracing rides along (it cannot perturb virtual time),
+     one trace file per artefact for `netrepro analyze`. *)
+  Dsim.Flowtrace.set_enabled Dsim.Flowtrace.default true;
   List.iter
     (fun (s : Core.Experiment.spec) ->
+      Dsim.Flowtrace.clear Dsim.Flowtrace.default;
       let out = s.Core.Experiment.report profile in
       Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
         s.Core.Experiment.paper_ref s.Core.Experiment.title
         out.Core.Experiment.text;
+      write_file
+        (Printf.sprintf "BENCH_%s.trace.json" s.Core.Experiment.id)
+        (Dsim.Json.to_string (Dsim.Flowtrace.to_json Dsim.Flowtrace.default));
       (* Machine-readable summary, one file per artefact, plus an echo
          on stdout so CI logs carry the numbers. *)
       let summary =

@@ -21,7 +21,13 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-type telemetry = { metrics_file : string option; trace_file : string option }
+type telemetry = {
+  metrics_file : string option;
+  trace_file : string option;
+  flow_trace_file : string option;
+  sample_every : int;
+  timeseries_file : string option;
+}
 
 (* Telemetry rides along with any experiment run: enable the registries
    up front, dump the requested files when the run completes. The
@@ -35,6 +41,17 @@ let with_telemetry t f =
   if t.trace_file <> None then begin
     Dsim.Span.set_enabled Dsim.Span.default true;
     Dsim.Span.clear Dsim.Span.default
+  end;
+  if t.flow_trace_file <> None then begin
+    Dsim.Flowtrace.set_enabled Dsim.Flowtrace.default true;
+    Dsim.Flowtrace.set_sample_every Dsim.Flowtrace.default t.sample_every;
+    Dsim.Flowtrace.clear Dsim.Flowtrace.default
+  end;
+  if t.timeseries_file <> None then begin
+    (* Needs metric values to snapshot. *)
+    Dsim.Metrics.set_enabled Dsim.Metrics.default true;
+    Dsim.Sampler.set_enabled Dsim.Sampler.default true;
+    Dsim.Sampler.clear Dsim.Sampler.default
   end;
   let result = f () in
   let dump path render =
@@ -56,7 +73,21 @@ let with_telemetry t f =
     | Some path ->
       dump path (fun () -> Dsim.Span.to_chrome_json Dsim.Span.default)
   in
-  if ok_metrics && ok_trace then result else 1
+  let ok_flow =
+    match t.flow_trace_file with
+    | None -> true
+    | Some path ->
+      dump path (fun () ->
+          Dsim.Json.to_string (Dsim.Flowtrace.to_json Dsim.Flowtrace.default))
+  in
+  let ok_timeseries =
+    match t.timeseries_file with
+    | None -> true
+    | Some path ->
+      dump path (fun () ->
+          Dsim.Json.to_string (Dsim.Sampler.to_json Dsim.Sampler.default))
+  in
+  if ok_metrics && ok_trace && ok_flow && ok_timeseries then result else 1
 
 let run_experiment ids quick iterations telemetry =
   let profile = profile_of quick iterations in
@@ -94,6 +125,15 @@ let run_experiment ids quick iterations telemetry =
           flush stdout)
         targets;
       0)
+
+let run_analyze file =
+  match Core.Analyze.of_file file with
+  | Ok t ->
+    print_string (Core.Analyze.render t);
+    0
+  | Error msg ->
+    Printf.eprintf "netrepro analyze: %s\n" msg;
+    1
 
 let run_attacks () =
   List.iter
@@ -133,9 +173,43 @@ let trace_opt =
            (load it in chrome://tracing or Perfetto) to $(docv) after the \
            run.")
 
+let flow_trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flow-trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable sampled per-packet causal flow tracing and write the \
+           trace/drop-attribution JSON to $(docv) after the run (inspect \
+           with $(b,netrepro analyze)).")
+
+let sample_every_opt =
+  Arg.(
+    value & opt int 64
+    & info [ "sample-every" ] ~docv:"N"
+        ~doc:"Trace 1 frame in $(docv) (with --flow-trace; default 64).")
+
+let timeseries_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Sample every metric on the virtual clock at a fixed interval and \
+           write the time-series JSON to $(docv) after the run.")
+
 let telemetry_term =
-  let make metrics_file trace_file = { metrics_file; trace_file } in
-  Term.(const make $ metrics_opt $ trace_opt)
+  let make metrics_file trace_file flow_trace_file sample_every timeseries_file
+      =
+    if sample_every < 1 then begin
+      Printf.eprintf "netrepro: --sample-every must be >= 1\n";
+      exit 2
+    end;
+    { metrics_file; trace_file; flow_trace_file; sample_every; timeseries_file }
+  in
+  Term.(
+    const make $ metrics_opt $ trace_opt $ flow_trace_opt $ sample_every_opt
+    $ timeseries_opt)
 
 let ids_arg =
   Arg.(
@@ -156,6 +230,19 @@ let list_cmd =
 let attack_cmd =
   let doc = "run the Fig. 3 compartmentalization attacks" in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attacks $ const ())
+
+let analyze_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Flow-trace JSON written by --flow-trace.")
+
+let analyze_cmd =
+  let doc =
+    "per-stage latency percentiles, end-to-end decomposition and drop \
+     attribution from a --flow-trace file"
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run_analyze $ analyze_file_arg)
 
 (* One top-level command per experiment, so
    `netrepro fig4 --metrics out.prom --trace-json out.json` works
@@ -188,4 +275,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          ([ run_cmd; list_cmd; attack_cmd ] @ experiment_cmds)))
+          ([ run_cmd; list_cmd; attack_cmd; analyze_cmd ] @ experiment_cmds)))

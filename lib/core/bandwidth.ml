@@ -7,6 +7,9 @@ let run (built : Scenarios.built) ?(warmup = Dsim.Time.ms 300)
     ?(duration = Dsim.Time.sec 2) ?(fair_share_mbit = theoretical_port_mbit) ()
     =
   let engine = built.Scenarios.engine in
+  (* Periodic metric snapshots on the virtual clock (time-series export);
+     no-op unless the default sampler has been enabled. *)
+  Dsim.Sampler.attach Dsim.Sampler.default engine Dsim.Metrics.default;
   Dsim.Engine.run engine ~until:(Dsim.Time.add (Dsim.Engine.now engine) warmup);
   List.iter
     (fun f -> ignore (f.Scenarios.take_bytes ()))

@@ -76,6 +76,7 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
   let mt, fd, buf = setup_connected ~seed ~mode ~write_size () in
   let built = mt.Scenarios.mt_built in
   let engine = built.Scenarios.engine in
+  Dsim.Sampler.attach Dsim.Sampler.default engine Dsim.Metrics.default;
   let iv = Topology.intravisor built.Scenarios.dut in
   let cm = Topology.node_cost built.Scenarios.dut in
   let rng = Dsim.Rng.create ~seed:(Int64.add seed 0x6d65L) in
@@ -123,7 +124,7 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
     Dsim.Metrics.observe latency_metric final
   in
   let done_flag = ref false in
-  let do_ff_write k =
+  let do_ff_write flow k =
     match (path, built.Scenarios.mutex) with
     | (Baseline | Scenario1), _ | Scenario2 _, None ->
       (* Same protection domain as the stack: plain call. *)
@@ -131,7 +132,9 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
       ignore
         (Dsim.Engine.schedule engine
            ~delay:(Dsim.Time.of_float_ns ff_write_model_ns)
-           k)
+           (fun () ->
+             Dsim.Flowtrace.hop flow Ff_write ~at:(Dsim.Engine.now engine);
+             k ()))
     | Scenario2 _, Some mu ->
       (* Cross into cVM1, take the shared mutex, run the real ff_write
          (whose TCP output work extends the hold), come back. *)
@@ -139,7 +142,9 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
         (Dsim.Engine.schedule engine
            ~delay:(Dsim.Time.of_float_ns cm.Dsim.Cost_model.tramp_oneway_ns)
            (fun () ->
-             Capvm.Umtx.acquire mu ~owner:"cVM2-measured" (fun ~wait_ns:_ ->
+             Dsim.Flowtrace.hop flow Tramp_in ~at:(Dsim.Engine.now engine);
+             Capvm.Umtx.acquire mu ~flow ~owner:"cVM2-measured"
+               (fun ~wait_ns:_ ->
                  let tx0 = stack_counters.Netstack.Stack.tx_frames in
                  ignore tx0;
                  let write_result, _tramp_ns =
@@ -157,13 +162,18 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
                    (Dsim.Engine.schedule engine
                       ~delay:(Dsim.Time.of_float_ns hold_ns)
                       (fun () ->
+                        Dsim.Flowtrace.hop flow Ff_write
+                          ~at:(Dsim.Engine.now engine);
                         Capvm.Umtx.release mu;
                         ignore
                           (Dsim.Engine.schedule engine
                              ~delay:
                                (Dsim.Time.of_float_ns
                                   cm.Dsim.Cost_model.tramp_oneway_ns)
-                             k))))))
+                             (fun () ->
+                               Dsim.Flowtrace.hop flow Tramp_out
+                                 ~at:(Dsim.Engine.now engine);
+                               k ())))))))
   in
   let run_span =
     Dsim.Span.start Dsim.Span.default
@@ -182,10 +192,18 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
         else None
       in
       let v1, c1 = clock () in
+      (* One trace per sampled iteration: its stage intervals telescope
+         to exactly [v2 - v1], the pre-jitter end-to-end sample. *)
+      let flow =
+        Dsim.Flowtrace.origin_ns Dsim.Flowtrace.default ~at_ns:v1 ~flow:label
+          App
+      in
       ignore
         (Dsim.Engine.schedule engine ~delay:(Dsim.Time.of_float_ns c1) (fun () ->
-             do_ff_write (fun () ->
+             Dsim.Flowtrace.hop flow Clock_ret ~at:(Dsim.Engine.now engine);
+             do_ff_write flow (fun () ->
                  let v2, c2 = clock () in
+                 Dsim.Flowtrace.hop_ns flow Clock_entry ~at_ns:v2;
                  record v1 v2;
                  Option.iter
                    (Dsim.Span.finish Dsim.Span.default

@@ -255,10 +255,19 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
   in
   let app_base_ns = 800. in
   let rec iter () =
-    if !running then
-      Capvm.Umtx.acquire mu ~owner:(Capvm.Cvm.name app_cvm) (fun ~wait_ns:_ ->
+    if !running then begin
+      (* One trace per app step: App origin, then the umtx wait and the
+         trampoline into cVM1 show up as stages. *)
+      let flow =
+        Dsim.Flowtrace.origin Dsim.Flowtrace.default
+          ~at:(Dsim.Engine.now engine)
+          ~flow:(Capvm.Cvm.name app_cvm) App
+      in
+      Capvm.Umtx.acquire mu ~flow ~owner:(Capvm.Cvm.name app_cvm) (fun ~wait_ns:_ ->
           let tx0 = stack_counters.Netstack.Stack.tx_frames in
-          let (), tramp_ns = Capvm.Intravisor.trampoline iv ~into:sp.sp_stack_cvm step in
+          let (), tramp_ns =
+            Capvm.Intravisor.trampoline iv ~flow ~into:sp.sp_stack_cvm step
+          in
           let tx_delta = stack_counters.Netstack.Stack.tx_frames - tx0 in
           let work_ns =
             tramp_ns
@@ -272,7 +281,10 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
                ~delay:(Dsim.Time.of_float_ns work_ns)
                (fun () ->
                  Capvm.Umtx.release mu;
+                 Dsim.Flowtrace.hop flow Tramp_out
+                   ~at:(Dsim.Engine.now engine);
                  ignore (Dsim.Engine.schedule engine ~delay:interval iter))))
+    end
   in
   iter ()
 

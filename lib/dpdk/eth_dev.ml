@@ -103,7 +103,8 @@ let reap t =
 let rx_burst t ~max =
   reap t;
   let completions = Nic.Igb.rx_burst t.port ~max in
-  let take (addr, pkt_len) =
+  let now = Dsim.Engine.now (Nic.Igb.engine t.port) in
+  let take (addr, pkt_len, flow) =
     match Hashtbl.find_opt t.in_flight addr with
     | None -> None
     | Some m ->
@@ -111,6 +112,8 @@ let rx_burst t ~max =
       (* Geometry: the device filled [pkt_len] bytes at the data
          address; reflect that in the mbuf. *)
       ignore (Mbuf.append m pkt_len);
+      Dsim.Flowtrace.hop flow Rx_ring ~at:now;
+      Mbuf.set_flow m flow;
       Some m
   in
   let mbufs = List.filter_map take completions in
@@ -131,7 +134,7 @@ let tx_burst t mbufs =
     | m :: rest ->
       let addr = Mbuf.data_addr m in
       let len = Mbuf.data_len m in
-      if Nic.Igb.tx_enqueue t.port ~addr ~len then begin
+      if Nic.Igb.tx_enqueue t.port ~flow:(Mbuf.flow m) ~addr ~len () then begin
         Hashtbl.replace t.in_flight addr m;
         go (sent + 1) (bytes + len) rest
       end

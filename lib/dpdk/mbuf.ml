@@ -15,6 +15,7 @@ and t = {
   mutable data_off : int;
   mutable data_len : int;
   mutable in_use : bool;
+  mutable flow : Dsim.Flowtrace.ctx option;
 }
 
 let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
@@ -50,6 +51,7 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
         data_off = headroom;
         data_len = 0;
         in_use = false;
+        flow = None;
       }
       pool.free_list
   done;
@@ -61,7 +63,11 @@ let capacity p = p.capacity
 
 let reset m =
   m.data_off <- m.default_headroom;
-  m.data_len <- 0
+  m.data_len <- 0;
+  m.flow <- None
+
+let flow m = m.flow
+let set_flow m f = m.flow <- f
 
 let alloc p =
   if Queue.is_empty p.free_list then None

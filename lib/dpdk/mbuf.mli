@@ -43,7 +43,15 @@ val cap : t -> Cheri.Capability.t
 (** The buffer-bounded capability (read-write over the whole buffer). *)
 
 val reset : t -> unit
-(** Restore the freshly-allocated geometry. *)
+(** Restore the freshly-allocated geometry (and clear the flow trace). *)
+
+(** {1 Flow tracing} *)
+
+val flow : t -> Dsim.Flowtrace.ctx option
+val set_flow : t -> Dsim.Flowtrace.ctx option -> unit
+(** A sampled frame's trace context rides on the mbuf through the
+    rx/tx rings, like rte_mbuf's dynamic fields carry per-packet
+    metadata; cleared on {!alloc}/{!reset}. *)
 
 val append : t -> int -> int
 (** Extend the data region at the tail by [n]; returns the absolute

@@ -49,6 +49,32 @@ let nonempty_buckets t =
   done;
   !out
 
+let percentile t p =
+  if t.total = 0 then 0.
+  else begin
+    let target =
+      Float.max 1.
+        (Float.of_int t.total *. Float.min 100. (Float.max 0. p) /. 100.)
+    in
+    let last = Array.length t.counts - 1 in
+    let rec walk i cum =
+      if i > last then fst (bucket_range t last)
+      else begin
+        let c = t.counts.(i) in
+        if Float.of_int (cum + c) >= target && c > 0 then begin
+          (* Geometric interpolation inside the bucket, matching the
+             log-spaced ladder. *)
+          let frac = (target -. Float.of_int cum) /. Float.of_int c in
+          let lo, hi = bucket_range t i in
+          let lo = Float.max t.lo lo in
+          lo *. ((hi /. lo) ** frac)
+        end
+        else walk (i + 1) (cum + c)
+      end
+    in
+    walk 0 0
+  end
+
 let human v =
   if v < 1e3 then Printf.sprintf "%.0fns" v
   else if v < 1e6 then Printf.sprintf "%.1fus" (v /. 1e3)

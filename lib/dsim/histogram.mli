@@ -23,6 +23,11 @@ val bucket_range : t -> int -> float * float
 
 val bucket_value : t -> int -> int
 
+val percentile : t -> float -> float
+(** [percentile t p] estimates the [p]-th percentile ([0..100], e.g.
+    [99.9]) by geometric interpolation inside the covering bucket;
+    [0.] on an empty histogram. *)
+
 val nonempty_buckets : t -> (int * float * float * int) list
 (** [(index, lo, hi, count)] for buckets holding samples, ascending. *)
 

@@ -23,9 +23,13 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Non-integral floats need enough digits to survive a round-trip:
+   flow-trace timestamps are ~1e8 ns with sub-ns fractions, which %.6g
+   would flatten to the nearest 100 ns. 12 significant digits keeps
+   0.001 ns resolution out to 1e9 ns while staying readable. *)
 let float_repr f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
+  else Printf.sprintf "%.12g" f
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"

@@ -294,6 +294,16 @@ let to_prometheus t =
                 Buffer.add_string buf
                   (Printf.sprintf "%s_bucket%s %d\n" name (prom_labels labels) !cum))
               h.h_counts;
+            (* Summary-style quantile lines (incl. p99.9) alongside the
+               cumulative buckets, so dashboards need no PromQL
+               histogram_quantile step to read tail latency. *)
+            List.iter
+              (fun (q, p) ->
+                let labels = s.s_labels @ [ ("quantile", q) ] in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%s %s\n" name (prom_labels labels)
+                     (prom_float (percentile h p))))
+              [ ("0.5", 50.); ("0.9", 90.); ("0.99", 99.); ("0.999", 99.9) ];
             Buffer.add_string buf
               (Printf.sprintf "%s_sum%s %s\n" name (prom_labels s.s_labels)
                  (prom_float h.h_sum));

@@ -74,7 +74,8 @@ let create_cvm t ~name ~size =
 
 let trampoline_cost_ns t = 2. *. t.cost.Dsim.Cost_model.tramp_oneway_ns
 
-let trampoline t ~into f =
+let trampoline t ?(flow = None) ~into f =
+  Dsim.Flowtrace.hop flow Tramp_in ~at:(Dsim.Engine.now t.engine);
   (* The control transfer: unseal the target entry with the Intravisor
      authority (this is where a forged entry capability faults), check
      it is executable, then run the body in the target compartment. *)

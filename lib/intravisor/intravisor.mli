@@ -28,11 +28,13 @@ val cvms : t -> Cvm.t list
 
 (** {1 Cross-compartment control transfer} *)
 
-val trampoline : t -> into:Cvm.t -> (unit -> 'a) -> 'a * float
+val trampoline :
+  t -> ?flow:Dsim.Flowtrace.ctx option -> into:Cvm.t -> (unit -> 'a) -> 'a * float
 (** Enter [into] through its sealed entry (really unsealing it — a
     forged or wrong-otype entry faults), run the body, return. The
     float is the modeled CPU cost (two one-way jumps: register spill,
-    PCC/DDC install, sealed branch). *)
+    PCC/DDC install, sealed branch). [flow] gets a [Tramp_in] hop
+    stamped at entry. *)
 
 val trampoline_cost_ns : t -> float
 (** Round-trip cost without executing anything. *)

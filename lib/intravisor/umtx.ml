@@ -1,6 +1,11 @@
 type policy = Barging | Fifo
 
-type waiter = { name : string; since : Dsim.Time.t; k : wait_ns:float -> unit }
+type waiter = {
+  name : string;
+  since : Dsim.Time.t;
+  wflow : Dsim.Flowtrace.ctx option;
+  k : wait_ns:float -> unit;
+}
 
 type t = {
   engine : Dsim.Engine.t;
@@ -53,15 +58,18 @@ let acquisitions t = t.acquisitions
 let contended_acquisitions t = t.contended
 let total_wait_ns t = t.total_wait_ns
 
-let acquire t ~owner k =
+let acquire t ?(flow = None) ~owner k =
   match t.owner with
   | None ->
     t.owner <- Some owner;
     t.acquisitions <- t.acquisitions + 1;
     Dsim.Metrics.incr t.acq_metric;
+    Dsim.Flowtrace.hop flow Umtx_wait ~at:(Dsim.Engine.now t.engine);
     k ~wait_ns:0.
   | Some _ ->
-    let w = { name = owner; since = Dsim.Engine.now t.engine; k } in
+    let w =
+      { name = owner; since = Dsim.Engine.now t.engine; wflow = flow; k }
+    in
     t.queue <-
       (match t.policy with
       | Barging -> w :: t.queue  (* most recent waiter barges in first *)
@@ -101,4 +109,6 @@ let release t =
              in
              t.total_wait_ns <- t.total_wait_ns +. waited;
              Dsim.Metrics.observe t.wait_metric waited;
+             Dsim.Flowtrace.hop next.wflow Umtx_wait
+               ~at:(Dsim.Engine.now t.engine);
              next.k ~wait_ns:waited)))

@@ -26,10 +26,17 @@ val create :
 
 val policy : t -> policy
 
-val acquire : t -> owner:string -> (wait_ns:float -> unit) -> unit
+val acquire :
+  t ->
+  ?flow:Dsim.Flowtrace.ctx option ->
+  owner:string ->
+  (wait_ns:float -> unit) ->
+  unit
 (** Run the continuation when the lock is granted. [wait_ns] is the
     simulated blocking time (0 for an uncontended grab; the uncontended
-    lock cost itself is in the cost model, accounted by the caller). *)
+    lock cost itself is in the cost model, accounted by the caller).
+    [flow] gets an [Umtx_wait] hop stamped at the grant time, so the
+    blocking interval shows up in the per-stage latency breakdown. *)
 
 val release : t -> unit
 (** @raise Invalid_argument when not held. Grants to the next waiter

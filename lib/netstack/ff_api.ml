@@ -3,6 +3,15 @@ type t = { stack : Stack.t; mem : Cheri.Tagged_memory.t }
 let attach stack mem = { stack; mem }
 let stack t = t.stack
 
+(* Capability violations at the F-Stack API boundary still raise (the
+   compartment dies, as on hardware), but the flow-trace drop table
+   records that the packet's journey ended here and why. *)
+let guard_cap f =
+  try f ()
+  with Cheri.Fault.Capability_fault _ as e ->
+    Dsim.Flowtrace.(drop default Ff_api Capability_fault);
+    raise e
+
 let ff_socket t = Stack.socket_stream t.stack
 let ff_bind t fd ~port = Stack.bind t.stack fd ~port
 let ff_listen t fd ~backlog = Stack.listen t.stack fd ~backlog
@@ -17,8 +26,9 @@ let ff_write t fd ~buf ~nbytes =
        into the socket. *)
     let addr = Cheri.Capability.cursor buf in
     let staging = Bytes.create nbytes in
-    Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging ~dst_off:0
-      ~len:nbytes;
+    guard_cap (fun () ->
+        Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging
+          ~dst_off:0 ~len:nbytes);
     Stack.write t.stack fd ~buf:staging ~off:0 ~len:nbytes
   end
 
@@ -28,7 +38,9 @@ let ff_read t fd ~buf ~nbytes =
     let addr = Cheri.Capability.cursor buf in
     (* Probe the store right away so a rogue buffer faults even when no
        data is pending. *)
-    Cheri.Capability.check_access buf Cheri.Capability.Store ~addr ~len:nbytes;
+    guard_cap (fun () ->
+        Cheri.Capability.check_access buf Cheri.Capability.Store ~addr
+          ~len:nbytes);
     let staging = Bytes.create nbytes in
     match Stack.read t.stack fd ~buf:staging ~off:0 ~len:nbytes with
     | Error _ as e -> e
@@ -49,8 +61,9 @@ let ff_sendto t fd ~ip ~port ~buf ~nbytes =
   else begin
     let addr = Cheri.Capability.cursor buf in
     let staging = Bytes.create nbytes in
-    Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging ~dst_off:0
-      ~len:nbytes;
+    guard_cap (fun () ->
+        Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging
+          ~dst_off:0 ~len:nbytes);
     Stack.udp_sendto t.stack fd ~ip ~port ~buf:staging
   end
 
@@ -58,7 +71,9 @@ let ff_recvfrom t fd ~buf ~nbytes =
   if nbytes < 0 then Error Errno.EINVAL
   else begin
     let addr = Cheri.Capability.cursor buf in
-    Cheri.Capability.check_access buf Cheri.Capability.Store ~addr ~len:nbytes;
+    guard_cap (fun () ->
+        Cheri.Capability.check_access buf Cheri.Capability.Store ~addr
+          ~len:nbytes);
     match Stack.udp_recvfrom t.stack fd with
     | Error _ as e -> e
     | Ok None -> Ok None

@@ -125,6 +125,10 @@ type t = {
   mutable ping_replies : (int * int) list;
   mutable hook : (t -> unit) option;
   mutable capture : Capture.t option;
+  (* Flow trace of the frame currently being processed by the rx path,
+     so drops detected deep inside the TCP machinery (via [stat]) can
+     still be attributed to the sampled frame. *)
+  mutable cur_rx_flow : Dsim.Flowtrace.ctx option;
 }
 
 let create engine mem dev config =
@@ -159,6 +163,7 @@ let create engine mem dev config =
     ping_replies = [];
     hook = None;
     capture = None;
+    cur_rx_flow = None;
   }
 
 let engine t = t.engine
@@ -181,19 +186,47 @@ let record_frame t dir frame =
   | Some c -> Capture.record c ~at:(Dsim.Engine.now t.engine) dir frame
   | None -> ()
 
-let drop_rx t =
+let drop_rx ?(flow = None) t stage reason =
   t.counters.rx_dropped <- t.counters.rx_dropped + 1;
-  Dsim.Metrics.incr t.metrics.m_rx_dropped
+  Dsim.Metrics.incr t.metrics.m_rx_dropped;
+  Dsim.Flowtrace.drop Dsim.Flowtrace.default ~flow stage reason
+
+(* Parse failures whose message mentions the checksum get the typed
+   [Bad_checksum] reason; everything else is a generic [Parse_error]. *)
+let contains_checksum msg =
+  let n = String.length msg in
+  let m = String.length "checksum" in
+  let rec go i = i + m <= n && (String.sub msg i m = "checksum" || go (i + 1)) in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Frame transmission                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let send_frame t ~dst_mac ~ethertype payload =
+let send_frame t ?(flow = None) ~dst_mac ~ethertype payload =
+  let flow =
+    (* Frames originated below the IP layer (ARP) start their trace
+       here; everything else arrives with the context already open. *)
+    match flow with
+    | Some _ ->
+      Dsim.Flowtrace.hop flow Eth_tx ~at:(now t);
+      flow
+    | None ->
+      let label =
+        match ethertype with
+        | Ethernet.Arp -> "arp:" ^ Ipv4_addr.to_string t.config.ip
+        | _ -> "eth:" ^ Ipv4_addr.to_string t.config.ip
+      in
+      Dsim.Flowtrace.origin Dsim.Flowtrace.default ~at:(now t) ~flow:label
+        Eth_tx
+  in
   let pool = Dpdk.Eth_dev.rx_pool t.dev in
   match Dpdk.Mbuf.alloc pool with
-  | None -> t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1
+  | None ->
+    t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1;
+    Dsim.Flowtrace.(drop default ~flow Eth_tx Mbuf_exhausted)
   | Some m ->
+    Dpdk.Mbuf.set_flow m flow;
     let frame_len = Ethernet.header_len + Bytes.length payload in
     ignore (Dpdk.Mbuf.append m frame_len);
     let frame = Bytes.create frame_len in
@@ -207,6 +240,8 @@ let send_frame t ~dst_mac ~ethertype payload =
       Dsim.Metrics.incr t.metrics.m_tx_frames;
       Dsim.Metrics.incr t.metrics.m_tx_bytes ~by:frame_len
     | rejected ->
+      (* TX-ring-full attribution already happened at the doorbell
+         (Igb.tx_enqueue); freeing resets the mbuf's flow field. *)
       List.iter Dpdk.Mbuf.free rejected;
       t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1)
 
@@ -222,7 +257,26 @@ let next_hop t dst =
   if Ipv4_addr.in_same_subnet t.config.ip dst ~prefix:t.config.prefix then dst
   else match t.config.gateway with Some gw -> gw | None -> dst
 
-let ip_output t ~dst ~protocol payload =
+let ip_output t ?(flow = None) ~dst ~protocol payload =
+  let flow =
+    match flow with
+    | Some _ ->
+      Dsim.Flowtrace.hop flow Ip_out ~at:(now t);
+      flow
+    | None ->
+      let label =
+        Printf.sprintf "%s>%s:%s"
+          (Ipv4_addr.to_string t.config.ip)
+          (Ipv4_addr.to_string dst)
+          (match protocol with
+          | Ipv4.Tcp -> "tcp"
+          | Ipv4.Udp -> "udp"
+          | Ipv4.Icmp -> "icmp"
+          | Ipv4.Unknown_proto n -> string_of_int n)
+      in
+      Dsim.Flowtrace.origin Dsim.Flowtrace.default ~at:(now t) ~flow:label
+        Ip_out
+  in
   t.ident <- (t.ident + 1) land 0xffff;
   let header =
     {
@@ -237,8 +291,10 @@ let ip_output t ~dst ~protocol payload =
   let packet = Ipv4.build header ~payload in
   let hop = next_hop t dst in
   match Arp_cache.lookup t.arp ~now:(now t) hop with
-  | Some dst_mac -> send_frame t ~dst_mac ~ethertype:Ethernet.Ipv4 packet
+  | Some dst_mac -> send_frame t ~flow ~dst_mac ~ethertype:Ethernet.Ipv4 packet
   | None ->
+    (* Parked awaiting ARP resolution: the trace ends here (the flushed
+       copy is not a drop, but its trace context is not retained). *)
     ignore (Arp_cache.enqueue_pending t.arp hop packet);
     if not (Arp_cache.request_outstanding t.arp ~now:(now t) hop) then begin
       t.counters.arp_requests <- t.counters.arp_requests + 1;
@@ -254,10 +310,42 @@ let conn_key_of (cb : Tcp_cb.t) : conn_key =
   (Ipv4_addr.to_int32 cb.remote_ip, cb.remote_port, cb.local_port)
 
 let emit_tcp t (cb : Tcp_cb.t) header payload =
+  let ft = Dsim.Flowtrace.default in
+  let flow =
+    if not (Dsim.Flowtrace.enabled ft) then None
+    else begin
+      let label =
+        Printf.sprintf "%s:%d>%s:%d"
+          (Ipv4_addr.to_string cb.Tcp_cb.local_ip)
+          cb.Tcp_cb.local_port
+          (Ipv4_addr.to_string cb.Tcp_cb.remote_ip)
+          cb.Tcp_cb.remote_port
+      in
+      (* A data segment starting below snd_max (the highest sequence
+         ever put on the wire) is a retransmission: link it to the
+         original transmission's trace. snd_nxt would miss RTO resends,
+         which roll snd_nxt back to snd_una before re-flushing. *)
+      let is_rtx =
+        Bytes.length payload > 0
+        && Tcp_seq.lt header.Tcp_wire.seq cb.Tcp_cb.snd_max
+      in
+      let parent =
+        if is_rtx then Tcp_cb.tx_trace_find cb header.Tcp_wire.seq else None
+      in
+      let flow =
+        Dsim.Flowtrace.origin ft ~at:(now t) ~flow:label ?parent Tcp_out
+      in
+      (match flow with
+      | Some c when Bytes.length payload > 0 && not is_rtx ->
+        Tcp_cb.tx_trace_remember cb header.Tcp_wire.seq (Dsim.Flowtrace.id c)
+      | _ -> ());
+      flow
+    end
+  in
   let segment =
     Tcp_wire.build ~src:cb.local_ip ~dst:cb.remote_ip header ~payload
   in
-  ip_output t ~dst:cb.remote_ip ~protocol:Ipv4.Tcp segment
+  ip_output t ~flow ~dst:cb.remote_ip ~protocol:Ipv4.Tcp segment
 
 let handle_event t (sock : Socket.tcp_sock) ~parent event =
   match (event : Tcp_cb.event) with
@@ -286,6 +374,9 @@ let note_stat t (s : Tcp_cb.stat) =
   | Tcp_cb.Retransmit -> Dsim.Metrics.incr t.metrics.m_retransmits
   | Tcp_cb.Delayed_ack -> Dsim.Metrics.incr t.metrics.m_delayed_acks
   | Tcp_cb.Window_stall -> Dsim.Metrics.incr t.metrics.m_window_stalls
+  | Tcp_cb.Rx_drop reason ->
+    Dsim.Flowtrace.drop Dsim.Flowtrace.default ~flow:t.cur_rx_flow
+      Dsim.Flowtrace.Tcp_in reason
 
 let make_ctx t sock ~parent : Tcp_cb.ctx =
   {
@@ -360,7 +451,7 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
     Socket.Tcp sock
   in
   match Socket.alloc t.table build with
-  | Error _ -> drop_rx t
+  | Error _ -> drop_rx t Dsim.Flowtrace.Tcp_in Dsim.Flowtrace.No_socket
   | Ok (fd, Socket.Tcp child) ->
     let ctx = make_ctx t child ~parent:(Some listener) in
     Hashtbl.replace t.sock_ctx fd ctx;
@@ -368,10 +459,16 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
     Tcp_input.accept_syn child.Socket.cb ctx hdr ~iss:(fresh_iss t)
   | Ok _ -> assert false
 
-let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Tcp_wire.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
-  | Error _ -> drop_rx t
+  | Error msg ->
+    let reason =
+      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
+      else Dsim.Flowtrace.Parse_error
+    in
+    drop_rx ~flow t Dsim.Flowtrace.Tcp_in reason
   | Ok (hdr, payload_off) -> (
+    Dsim.Flowtrace.hop flow Tcp_in ~at:(now t);
     let payload_len = off + len - payload_off in
     let payload = Bytes.sub buf payload_off payload_len in
     let key : conn_key =
@@ -380,7 +477,13 @@ let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
     match Hashtbl.find_opt t.conns key with
     | Some sock ->
       let ctx = get_ctx t sock in
-      Tcp_input.process sock.Socket.cb ctx hdr payload;
+      let readable_before = Tcp_cb.readable_bytes sock.Socket.cb in
+      t.cur_rx_flow <- flow;
+      Fun.protect
+        ~finally:(fun () -> t.cur_rx_flow <- None)
+        (fun () -> Tcp_input.process sock.Socket.cb ctx hdr payload);
+      if Tcp_cb.readable_bytes sock.Socket.cb > readable_before then
+        Dsim.Flowtrace.hop flow Sock ~at:(now t);
       if sock.Socket.cb.Tcp_cb.state <> Tcp_cb.Closed then
         Tcp_output.flush sock.Socket.cb ctx
     | None -> (
@@ -388,15 +491,24 @@ let tcp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
       | Some listener
         when hdr.Tcp_wire.flags.Tcp_wire.syn && not hdr.Tcp_wire.flags.Tcp_wire.ack
         -> spawn_passive t listener ~ip_hdr hdr
-      | Some _ | None -> send_rst t ~ip_hdr ~tcp_hdr:hdr ~payload_len))
+      | Some _ | None ->
+        (* Reset path: the frame itself goes no further (not counted in
+           rx_dropped, but the trace records why it ended). *)
+        Dsim.Flowtrace.(drop default ~flow Tcp_in No_socket);
+        send_rst t ~ip_hdr ~tcp_hdr:hdr ~payload_len))
 
 (* ------------------------------------------------------------------ *)
 (* ICMP / UDP input                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let icmp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+let icmp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Icmp.parse buf ~off ~len with
-  | Error _ -> drop_rx t
+  | Error msg ->
+    let reason =
+      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
+      else Dsim.Flowtrace.Parse_error
+    in
+    drop_rx ~flow t Dsim.Flowtrace.Ip_rx reason
   | Ok msg -> (
     match msg with
     | Icmp.Echo_reply { ident; seq; _ } ->
@@ -407,28 +519,35 @@ let icmp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
         ip_output t ~dst:ip_hdr.Ipv4.src ~protocol:Ipv4.Icmp (Icmp.build reply)
       | None -> ()))
 
-let udp_input t ~(ip_hdr : Ipv4.header) buf ~off ~len =
+let udp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Udp.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
-  | Error _ -> drop_rx t
+  | Error msg ->
+    let reason =
+      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
+      else Dsim.Flowtrace.Parse_error
+    in
+    drop_rx ~flow t Dsim.Flowtrace.Udp_in reason
   | Ok (hdr, payload_off) -> (
+    Dsim.Flowtrace.hop flow Udp_in ~at:(now t);
     match Hashtbl.find_opt t.udp_binds hdr.Udp.dst_port with
-    | None -> drop_rx t
+    | None -> drop_rx ~flow t Dsim.Flowtrace.Udp_in Dsim.Flowtrace.No_socket
     | Some sock ->
       if Queue.length sock.Socket.rcv_q >= sock.Socket.max_rcv_q then
-        drop_rx t
+        drop_rx ~flow t Dsim.Flowtrace.Udp_in Dsim.Flowtrace.Sock_queue_full
       else begin
         let data_len = hdr.Udp.length - Udp.header_len in
         let data = Bytes.sub buf payload_off data_len in
-        Queue.push (ip_hdr.Ipv4.src, hdr.Udp.src_port, data) sock.Socket.rcv_q
+        Queue.push (ip_hdr.Ipv4.src, hdr.Udp.src_port, data) sock.Socket.rcv_q;
+        Dsim.Flowtrace.hop flow Sock ~at:(now t)
       end)
 
 (* ------------------------------------------------------------------ *)
 (* Frame input                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let arp_input t buf ~off =
+let arp_input t ?(flow = None) buf ~off =
   match Arp.parse buf ~off with
-  | Error _ -> drop_rx t
+  | Error _ -> drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
   | Ok pkt ->
     if Ipv4_addr.equal pkt.Arp.target_ip t.config.ip then begin
       Arp_cache.insert t.arp ~now:(now t) pkt.Arp.sender_ip pkt.Arp.sender_mac;
@@ -441,35 +560,45 @@ let arp_input t buf ~off =
         (Arp_cache.take_pending t.arp pkt.Arp.sender_ip)
     end
 
-let ipv4_input t buf ~off ~len =
+let ipv4_input t ?(flow = None) buf ~off ~len =
   match Ipv4.parse buf ~off ~len with
-  | Error _ -> drop_rx t
+  | Error msg ->
+    let reason =
+      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
+      else Dsim.Flowtrace.Parse_error
+    in
+    drop_rx ~flow t Dsim.Flowtrace.Ip_rx reason
   | Ok (ip_hdr, payload_off) ->
     if
       Ipv4_addr.equal ip_hdr.Ipv4.dst t.config.ip
       || Ipv4_addr.equal ip_hdr.Ipv4.dst Ipv4_addr.broadcast
     then begin
+      Dsim.Flowtrace.hop flow Ip_rx ~at:(now t);
       let payload_len = ip_hdr.Ipv4.total_len - (payload_off - off) in
       match ip_hdr.Ipv4.protocol with
-      | Ipv4.Tcp -> tcp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
-      | Ipv4.Icmp -> icmp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
-      | Ipv4.Udp -> udp_input t ~ip_hdr buf ~off:payload_off ~len:payload_len
-      | Ipv4.Unknown_proto _ -> drop_rx t
+      | Ipv4.Tcp -> tcp_input t ~flow ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Icmp -> icmp_input t ~flow ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Udp -> udp_input t ~flow ~ip_hdr buf ~off:payload_off ~len:payload_len
+      | Ipv4.Unknown_proto _ ->
+        drop_rx ~flow t Dsim.Flowtrace.Ip_rx Dsim.Flowtrace.Unknown_proto
     end
 
-let handle_frame t frame =
+let handle_frame t ?(flow = None) frame =
   t.counters.rx_frames <- t.counters.rx_frames + 1;
   Dsim.Metrics.incr t.metrics.m_rx_frames;
   Dsim.Metrics.incr t.metrics.m_rx_bytes ~by:(Bytes.length frame);
   record_frame t Capture.Rx frame;
   match Ethernet.parse frame with
-  | Error _ -> drop_rx t
+  | Error _ -> drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
   | Ok (eth, payload_off) -> (
+    Dsim.Flowtrace.hop flow Eth_rx ~at:(now t);
     match eth.Ethernet.ethertype with
-    | Ethernet.Arp -> arp_input t frame ~off:payload_off
+    | Ethernet.Arp -> arp_input t ~flow frame ~off:payload_off
     | Ethernet.Ipv4 ->
-      ipv4_input t frame ~off:payload_off ~len:(Bytes.length frame - payload_off)
-    | Ethernet.Unknown _ -> drop_rx t)
+      ipv4_input t ~flow frame ~off:payload_off
+        ~len:(Bytes.length frame - payload_off)
+    | Ethernet.Unknown _ ->
+      drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Unknown_proto)
 
 (* ------------------------------------------------------------------ *)
 (* Main loop                                                            *)
@@ -501,8 +630,10 @@ let loop_once t =
   List.iter
     (fun m ->
       let frame = Dpdk.Mbuf.contents t.mem m in
+      (* Read the trace context before [free] resets the mbuf. *)
+      let flow = Dpdk.Mbuf.flow m in
       Dpdk.Mbuf.free m;
-      handle_frame t frame)
+      handle_frame t ~flow frame)
     mbufs;
   service_tcp t;
   (match t.hook with Some h -> h t | None -> ());

@@ -35,8 +35,14 @@ type event =
 
 (* Notable protocol happenings reported up to the owning stack, which
    mirrors them into its per-host metric counters; the TCP machinery
-   itself stays registry-agnostic. *)
-type stat = Retransmit | Delayed_ack | Window_stall
+   itself stays registry-agnostic. [Rx_drop] carries the typed reason a
+   received segment (or part of it) was discarded, so the stack can
+   attribute the drop to the in-flight flow trace. *)
+type stat =
+  | Retransmit
+  | Delayed_ack
+  | Window_stall
+  | Rx_drop of Dsim.Flowtrace.reason
 
 type ctx = {
   now : unit -> Dsim.Time.t;
@@ -120,6 +126,7 @@ type t = {
   mutable segments_out : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable tx_traces : (Tcp_seq.t * int) list;
 }
 
 let create ?(config = default_config) ~local_ip ~local_port () =
@@ -167,7 +174,25 @@ let create ?(config = default_config) ~local_ip ~local_port () =
     segments_out = 0;
     bytes_in = 0;
     bytes_out = 0;
+    tx_traces = [];
   }
+
+(* Retransmit lineage: remember the trace id of the last few transmitted
+   data segments, keyed by starting sequence, so a retransmission links
+   back to the original transmission's trace. Bounded; stale entries
+   fall off the tail. *)
+let tx_trace_limit = 64
+
+let tx_trace_remember t seq trace_id =
+  let rec keep n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | ((s, _) as hd) :: rest ->
+      if s = seq then keep n rest else hd :: keep (n - 1) rest
+  in
+  t.tx_traces <- (seq, trace_id) :: keep (tx_trace_limit - 1) t.tx_traces
+
+let tx_trace_find t seq = List.assoc_opt seq t.tx_traces
 
 let ts_now ctx =
   Int64.to_int (Int64.rem (Int64.div (Dsim.Time.to_ns (ctx.now ())) 1000L) 0x100000000L)

@@ -32,8 +32,14 @@ type event =
   | Closed_done  (** Reached [Closed]; resources can be reclaimed. *)
 
 (** Notable protocol happenings reported up to the owning stack, which
-    mirrors them into its per-host metric counters. *)
-type stat = Retransmit | Delayed_ack | Window_stall
+    mirrors them into its per-host metric counters. [Rx_drop] carries
+    the typed reason a received segment (or its tail) was discarded, so
+    the stack can attribute the drop to the in-flight flow trace. *)
+type stat =
+  | Retransmit
+  | Delayed_ack
+  | Window_stall
+  | Rx_drop of Dsim.Flowtrace.reason
 
 type ctx = {
   now : unit -> Dsim.Time.t;
@@ -118,6 +124,9 @@ type t = {
   mutable segments_out : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable tx_traces : (Tcp_seq.t * int) list;
+      (** Flow-trace ids of recently transmitted data segments, keyed by
+          starting sequence (retransmit lineage; bounded). *)
 }
 
 val create :
@@ -147,6 +156,12 @@ val writable_space : t -> int
 
 val ts_now : ctx -> int
 (** Timestamp clock value (microseconds, 32-bit wrap). *)
+
+val tx_trace_remember : t -> Tcp_seq.t -> int -> unit
+(** Record the flow-trace id of a transmitted data segment. *)
+
+val tx_trace_find : t -> Tcp_seq.t -> int option
+(** Trace id of the original transmission starting at this sequence. *)
 
 val enter_time_wait : t -> ctx -> unit
 val to_closed : t -> ctx -> unit

@@ -142,7 +142,7 @@ let fin_transition cb ctx =
 
 (* Reassembly queue: segments ahead of rcv_nxt wait (sorted, bounded)
    until the gap fills, then drain in order. *)
-let ooo_insert cb ~seq payload =
+let ooo_insert cb ctx ~seq payload =
   if List.length cb.ooo_queue < cb.config.max_ooo_segments then begin
     let rec insert = function
       | [] -> [ (seq, payload) ]
@@ -153,7 +153,9 @@ let ooo_insert cb ~seq payload =
     in
     cb.ooo_queue <- insert cb.ooo_queue
   end
-(* else: queue full, drop — the sender retransmits. *)
+  else
+    (* Queue full, drop — the sender retransmits. *)
+    ctx.stat (Rx_drop Dsim.Flowtrace.Out_of_window)
 
 let rec accept_in_order cb ctx ~seq payload =
   let len = Bytes.length payload in
@@ -167,9 +169,11 @@ let rec accept_in_order cb ctx ~seq payload =
       cb.bytes_in <- cb.bytes_in + accepted;
       ctx.on_event Data_readable
     end;
-    if accepted < fresh then
+    if accepted < fresh then begin
       (* Receive buffer overrun: the tail will be retransmitted. *)
+      ctx.stat (Rx_drop Dsim.Flowtrace.Rcv_buf_full);
       cb.need_ack_now <- true
+    end
     else drain_ooo cb ctx
   end
 
@@ -194,7 +198,7 @@ let process_payload cb ctx (hdr : Tcp_wire.header) payload =
       (* Ahead of the expected sequence: park it in the reassembly
          queue and duplicate-ACK so the sender fast-retransmits the
          missing piece. *)
-      if len > 0 then ooo_insert cb ~seq payload;
+      if len > 0 then ooo_insert cb ctx ~seq payload;
       cb.need_ack_now <- true
     end
     else begin
@@ -208,9 +212,11 @@ let process_payload cb ctx (hdr : Tcp_wire.header) payload =
           cb.ack_deadline <-
             Some (Dsim.Time.add (ctx.now ()) cb.config.delayed_ack_timeout)
       end
-      else if len > 0 then
+      else if len > 0 then begin
         (* Pure duplicate segment. *)
-        cb.need_ack_now <- true;
+        ctx.stat (Rx_drop Dsim.Flowtrace.Dup_segment);
+        cb.need_ack_now <- true
+      end;
       (* The FIN is consumable only when we hold all bytes before it.
          (A FIN whose data was parked in the reassembly queue loses its
          flag; the peer's FIN retransmission recovers it.) *)

@@ -1,5 +1,10 @@
 type rx_desc = { rx_addr : int; rx_len : int }
-type tx_req = { tx_addr : int; tx_len : int }
+
+type tx_req = {
+  tx_addr : int;
+  tx_len : int;
+  tx_flow : Dsim.Flowtrace.ctx option;
+}
 
 type port = {
   index : int;
@@ -10,7 +15,7 @@ type port = {
   rx_ring_size : int;
   tx_ring_size : int;
   rx_free : rx_desc Queue.t;
-  rx_done : (int * int) Queue.t;
+  rx_done : (int * int * Dsim.Flowtrace.ctx option) Queue.t;
   tx_pending : tx_req Queue.t;
   tx_done : int Queue.t;
   mutable tx_inflight : int;
@@ -54,6 +59,7 @@ let port t i =
   t.ports.(i)
 
 let port_index p = p.index
+let engine p = p.engine
 let mac p = p.mac
 let stats p = p.stats
 let set_dma_cap p cap = p.dma_cap <- cap
@@ -78,22 +84,28 @@ let kick_tx p =
            let frame = Bytes.create req.tx_len in
            Cheri.Tagged_memory.blit_out p.mem ~cap:p.dma_cap ~addr:req.tx_addr
              ~dst:frame ~dst_off:0 ~len:req.tx_len;
+           Dsim.Flowtrace.hop req.tx_flow Tx_dma
+             ~at:(Dsim.Engine.now p.engine);
            let tx_done_at =
              match p.wire with
-             | Some (link, ep) -> Link.transmit link ~from:ep ~frame
+             | Some (link, ep) ->
+               Link.transmit link ~flow:req.tx_flow ~from:ep ~frame ()
              | None -> Dsim.Engine.now p.engine
            in
            ignore
              (Dsim.Engine.schedule_at p.engine ~at:tx_done_at (fun () ->
                   p.stats.tx_packets <- p.stats.tx_packets + 1;
                   p.stats.tx_bytes <- p.stats.tx_bytes + req.tx_len;
+                  Dsim.Flowtrace.hop req.tx_flow Wire
+                    ~at:(Dsim.Engine.now p.engine);
                   Queue.push req.tx_addr p.tx_done))))
   done
 
-let tx_enqueue p ~addr ~len =
+let tx_enqueue p ?(flow = None) ~addr ~len () =
   if len <= 0 then invalid_arg "Igb.tx_enqueue: empty frame";
   if p.tx_inflight >= p.tx_ring_size then begin
     p.stats.tx_ring_full <- p.stats.tx_ring_full + 1;
+    Dsim.Flowtrace.(drop default ~flow Tx_ring Tx_ring_full);
     false
   end
   else begin
@@ -102,7 +114,8 @@ let tx_enqueue p ~addr ~len =
        does not corrupt memory later. *)
     Cheri.Capability.check_access p.dma_cap Load ~addr ~len;
     p.tx_inflight <- p.tx_inflight + 1;
-    Queue.push { tx_addr = addr; tx_len = len } p.tx_pending;
+    Dsim.Flowtrace.hop flow Tx_ring ~at:(Dsim.Engine.now p.engine);
+    Queue.push { tx_addr = addr; tx_len = len; tx_flow = flow } p.tx_pending;
     kick_tx p;
     true
   end
@@ -133,18 +146,25 @@ let accepts p frame =
   | None -> false
   | Some dst -> Mac_addr.equal dst p.mac || Mac_addr.is_broadcast dst || Mac_addr.is_multicast dst
 
-let deliver p frame =
+let deliver p ?(flow = None) frame =
   let len = Bytes.length frame in
-  if not (accepts p frame) then p.stats.rx_filtered <- p.stats.rx_filtered + 1
-  else if Queue.is_empty p.rx_free then
-    p.stats.rx_no_desc <- p.stats.rx_no_desc + 1
+  if not (accepts p frame) then begin
+    p.stats.rx_filtered <- p.stats.rx_filtered + 1;
+    Dsim.Flowtrace.(drop default ~flow Rx_dma Mac_filter)
+  end
+  else if Queue.is_empty p.rx_free then begin
+    p.stats.rx_no_desc <- p.stats.rx_no_desc + 1;
+    Dsim.Flowtrace.(drop default ~flow Rx_dma Rx_ring_full)
+  end
   else begin
     let desc = Queue.peek p.rx_free in
-    if desc.rx_len < len then
+    if desc.rx_len < len then begin
       (* Buffer too small for the frame; hardware would chain
          descriptors, our driver always posts MTU-sized buffers so this
          only happens on misconfiguration. Count it as a drop. *)
-      p.stats.rx_no_desc <- p.stats.rx_no_desc + 1
+      p.stats.rx_no_desc <- p.stats.rx_no_desc + 1;
+      Dsim.Flowtrace.(drop default ~flow Rx_dma Rx_ring_full)
+    end
     else begin
       ignore (Queue.pop p.rx_free);
       let now = Dsim.Engine.now p.engine in
@@ -155,13 +175,14 @@ let deliver p frame =
                ~src:frame ~src_off:0 ~len;
              p.stats.rx_packets <- p.stats.rx_packets + 1;
              p.stats.rx_bytes <- p.stats.rx_bytes + len;
-             Queue.push (desc.rx_addr, len) p.rx_done))
+             Dsim.Flowtrace.hop flow Rx_dma ~at:(Dsim.Engine.now p.engine);
+             Queue.push (desc.rx_addr, len, flow) p.rx_done))
     end
   end
 
 let connect p link ep =
   p.wire <- Some (link, ep);
-  Link.attach link ep (fun frame -> deliver p frame)
+  Link.attach link ep (fun ~flow frame -> deliver p ~flow frame)
 
 let rx_refill p ~addr ~len =
   if Queue.length p.rx_free >= p.rx_ring_size then false

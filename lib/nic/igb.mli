@@ -36,6 +36,7 @@ val port : t -> int -> port
 (** @raise Invalid_argument on a bad index. *)
 
 val port_index : port -> int
+val engine : port -> Dsim.Engine.t
 val mac : port -> Mac_addr.t
 val stats : port -> Port_stats.t
 
@@ -49,26 +50,31 @@ val set_promisc : port -> bool -> unit
 val connect : port -> Link.t -> Link.endpoint -> unit
 (** Attach the port to its wire end and install the receive path. *)
 
-val deliver : port -> bytes -> unit
+val deliver : port -> ?flow:Dsim.Flowtrace.ctx option -> bytes -> unit
 (** Frame arriving from the wire (used by {!connect}; exposed so tests
-    can inject frames without a link). *)
+    can inject frames without a link). [flow] is the sampled trace
+    context travelling with the frame; MAC-filter and no-descriptor
+    drops are attributed to it. *)
 
 (** {1 Driver-facing descriptor operations} *)
 
 val rx_refill : port -> addr:int -> len:int -> bool
 (** Give the device an empty buffer; [false] when the RX ring is full. *)
 
-val rx_burst : port -> max:int -> (int * int) list
-(** Completed receives as [(buffer_addr, packet_len)], oldest first. *)
+val rx_burst : port -> max:int -> (int * int * Dsim.Flowtrace.ctx option) list
+(** Completed receives as [(buffer_addr, packet_len, flow)], oldest
+    first; [flow] is the trace context carried across the wire. *)
 
 val rx_pending : port -> int
 (** Completed-but-not-collected receives. *)
 
 val rx_free_slots : port -> int
 
-val tx_enqueue : port -> addr:int -> len:int -> bool
+val tx_enqueue :
+  port -> ?flow:Dsim.Flowtrace.ctx option -> addr:int -> len:int -> unit -> bool
 (** Doorbell: packet at [addr..addr+len) is ready; [false] (and a
-    counter bump) when the TX ring is full. *)
+    counter bump plus a [Tx_ring]/[Tx_ring_full] drop attribution) when
+    the TX ring is full. *)
 
 val tx_reap : port -> max:int -> int list
 (** Buffer addresses whose transmission fully completed. *)

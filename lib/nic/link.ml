@@ -2,7 +2,8 @@ type endpoint = A | B
 
 type dir_state = {
   mutable busy_until : Dsim.Time.t;
-  mutable handler : (bytes -> unit) option;  (* receiver at the far end *)
+  (* receiver at the far end *)
+  mutable handler : (flow:Dsim.Flowtrace.ctx option -> bytes -> unit) option;
   mutable carried : int;
 }
 
@@ -31,7 +32,7 @@ let attach t ep f =
 
 let dir_of t = function A -> t.a_to_b | B -> t.b_to_a
 
-let transmit t ~from ~frame =
+let transmit t ?(flow = None) ~from ~frame () =
   let d = dir_of t from in
   let now = Dsim.Engine.now t.engine in
   let wire_bytes = Bytes.length frame + overhead_bytes in
@@ -42,11 +43,13 @@ let transmit t ~from ~frame =
   d.carried <- d.carried + wire_bytes;
   let arrival = Dsim.Time.add tx_done t.prop_delay in
   let deliver () =
+    let drop () =
+      t.dropped <- t.dropped + 1;
+      Dsim.Flowtrace.(drop default ~flow Wire Link_down)
+    in
     if t.up then
-      match d.handler with
-      | Some f -> f frame
-      | None -> t.dropped <- t.dropped + 1
-    else t.dropped <- t.dropped + 1
+      match d.handler with Some f -> f ~flow frame | None -> drop ()
+    else drop ()
   in
   ignore (Dsim.Engine.schedule_at t.engine ~at:arrival deliver);
   tx_done

@@ -18,15 +18,25 @@ val overhead_bytes : int
 val create :
   Dsim.Engine.t -> ?bps:float -> ?prop_delay:Dsim.Time.t -> unit -> t
 
-val attach : t -> endpoint -> (bytes -> unit) -> unit
-(** Install the receive handler for frames arriving at this end. *)
+val attach :
+  t -> endpoint -> (flow:Dsim.Flowtrace.ctx option -> bytes -> unit) -> unit
+(** Install the receive handler for frames arriving at this end. The
+    handler receives the frame's flow-trace context, if sampled, so a
+    trace survives the wire crossing. *)
 
-val transmit : t -> from:endpoint -> frame:bytes -> Dsim.Time.t
+val transmit :
+  t ->
+  ?flow:Dsim.Flowtrace.ctx option ->
+  from:endpoint ->
+  frame:bytes ->
+  unit ->
+  Dsim.Time.t
 (** Serialise [frame] out of [from]'s MAC starting no earlier than now;
     deliver to the opposite endpoint's handler after propagation.
     Returns the time the last bit leaves the MAC (i.e. when the TX
-    descriptor can complete). Frames to an endpoint with no handler are
-    counted as dropped. *)
+    descriptor can complete). Frames to an endpoint with no handler, or
+    on an administratively-down link, are counted as dropped (and
+    attributed [Wire]/[Link_down] in {!Dsim.Flowtrace}). *)
 
 val carried_bytes : t -> from:endpoint -> int
 (** Wire bytes (incl. overhead) sent from this endpoint; diagnostics. *)

@@ -3,6 +3,7 @@ let () =
     [
       ("dsim", Test_dsim.suite);
       ("metrics", Test_metrics.suite);
+      ("flowtrace", Test_flowtrace.suite);
       ("cheri", Test_cheri.suite);
       ("nic", Test_nic.suite);
       ("dpdk", Test_dpdk.suite);

@@ -164,6 +164,8 @@ let prometheus_export () =
       "wait_ns_bucket{le=\"+Inf\"} 2";
       "wait_ns_sum 55";
       "wait_ns_count 2";
+      "wait_ns{quantile=\"0.5\"}";
+      "wait_ns{quantile=\"0.999\"}";
     ];
   (* Buckets are cumulative. *)
   Alcotest.(check bool) "le=10 bucket" true

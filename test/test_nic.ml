@@ -66,9 +66,9 @@ let link_delivery () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:(Dsim.Time.ns 500) () in
   let got = ref [] in
-  Nic.Link.attach l Nic.Link.B (fun f -> got := Bytes.to_string f :: !got);
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ f -> got := Bytes.to_string f :: !got);
   let frame = Bytes.make 100 'x' in
-  let tx_done = Nic.Link.transmit l ~from:Nic.Link.A ~frame in
+  let tx_done = Nic.Link.transmit l ~from:Nic.Link.A ~frame () in
   (* (100 + 24 overhead) * 8ns = 992ns serialization *)
   Alcotest.(check int64) "tx done after serialization" 992L tx_done;
   Dsim.Engine.run_until_quiet e;
@@ -78,47 +78,47 @@ let link_delivery () =
 let link_back_to_back () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
-  Nic.Link.attach l Nic.Link.B (fun _ -> ());
-  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') in
-  let t2 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'b') in
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') () in
+  let t2 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'b') () in
   Alcotest.(check int64) "second serializes after first" (Int64.mul t1 2L) t2
 
 let link_full_duplex () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
-  Nic.Link.attach l Nic.Link.A (fun _ -> ());
-  Nic.Link.attach l Nic.Link.B (fun _ -> ());
-  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') in
-  let t2 = Nic.Link.transmit l ~from:Nic.Link.B ~frame:(Bytes.make 100 'b') in
+  Nic.Link.attach l Nic.Link.A (fun ~flow:_ _ -> ());
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') () in
+  let t2 = Nic.Link.transmit l ~from:Nic.Link.B ~frame:(Bytes.make 100 'b') () in
   Alcotest.(check int64) "directions independent" t1 t2
 
 let link_down_drops () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e () in
   let got = ref 0 in
-  Nic.Link.attach l Nic.Link.B (fun _ -> incr got);
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> incr got);
   Nic.Link.set_up l false;
-  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x') ());
   Dsim.Engine.run_until_quiet e;
   Alcotest.(check int) "nothing delivered" 0 !got;
   Alcotest.(check int) "counted as dropped" 1 (Nic.Link.dropped l);
   Nic.Link.set_up l true;
-  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x') ());
   Dsim.Engine.run_until_quiet e;
   Alcotest.(check int) "delivered when up" 1 !got
 
 let link_no_handler_drops () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e () in
-  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x'));
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x') ());
   Dsim.Engine.run_until_quiet e;
   Alcotest.(check int) "dropped without handler" 1 (Nic.Link.dropped l)
 
 let link_carried_accounting () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e () in
-  Nic.Link.attach l Nic.Link.B (fun _ -> ());
-  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'x'));
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'x') ());
   Alcotest.(check int) "wire bytes include overhead" 124
     (Nic.Link.carried_bytes l ~from:Nic.Link.A)
 
@@ -161,7 +161,7 @@ let igb_rx_roundtrip () =
   Alcotest.(check int) "not yet DMA-complete" 0 (Nic.Igb.rx_pending rig.port);
   Dsim.Engine.run_until_quiet rig.engine;
   (match Nic.Igb.rx_burst rig.port ~max:4 with
-  | [ (addr, len) ] ->
+  | [ (addr, len, _) ] ->
     Alcotest.(check int) "buffer address" 0x2000 addr;
     Alcotest.(check int) "length" (Bytes.length frame) len;
     let copy = Bytes.create len in
@@ -214,7 +214,7 @@ let igb_dma_cap_enforced () =
     | _ -> false
     | exception Cheri.Fault.Capability_fault _ -> true);
   Alcotest.(check bool) "tx outside window faults" true
-    (match Nic.Igb.tx_enqueue rig.port ~addr:0x90000 ~len:100 with
+    (match Nic.Igb.tx_enqueue rig.port ~addr:0x90000 ~len:100 () with
     | _ -> false
     | exception Cheri.Fault.Capability_fault _ -> true)
 
@@ -240,7 +240,7 @@ let igb_tx_to_peer () =
   Cheri.Tagged_memory.unchecked_blit_in mem ~addr:0x4000 ~src:frame ~src_off:0
     ~len:(Bytes.length frame);
   Alcotest.(check bool) "tx accepted" true
-    (Nic.Igb.tx_enqueue a ~addr:0x4000 ~len:(Bytes.length frame));
+    (Nic.Igb.tx_enqueue a ~addr:0x4000 ~len:(Bytes.length frame) ());
   Alcotest.(check int) "in flight" 1 (Nic.Igb.tx_in_flight a);
   Dsim.Engine.run_until_quiet engine;
   (match Nic.Igb.tx_reap a ~max:8 with
@@ -248,7 +248,7 @@ let igb_tx_to_peer () =
   | l -> Alcotest.failf "expected one reap, got %d" (List.length l));
   Alcotest.(check int) "no longer in flight" 0 (Nic.Igb.tx_in_flight a);
   (match Nic.Igb.rx_burst b ~max:8 with
-  | [ (addr, len) ] ->
+  | [ (addr, len, _) ] ->
     let copy = Bytes.create len in
     Cheri.Tagged_memory.unchecked_blit_out mem ~addr ~dst:copy ~dst_off:0 ~len;
     Alcotest.(check string) "frame crossed the wire" (Bytes.to_string frame)
@@ -260,9 +260,9 @@ let igb_tx_to_peer () =
 let igb_tx_ring_full () =
   let rig = make_rig ~tx_ring_size:1 () in
   Alcotest.(check bool) "first accepted" true
-    (Nic.Igb.tx_enqueue rig.port ~addr:0x2000 ~len:100);
+    (Nic.Igb.tx_enqueue rig.port ~addr:0x2000 ~len:100 ());
   Alcotest.(check bool) "second refused" false
-    (Nic.Igb.tx_enqueue rig.port ~addr:0x3000 ~len:100);
+    (Nic.Igb.tx_enqueue rig.port ~addr:0x3000 ~len:100 ());
   Alcotest.(check int) "refusal counted" 1
     (Nic.Igb.stats rig.port).Nic.Port_stats.tx_ring_full
 
@@ -274,7 +274,7 @@ let igb_rx_ordering () =
   Nic.Igb.deliver rig.port (frame_for rig "second");
   Dsim.Engine.run_until_quiet rig.engine;
   match Nic.Igb.rx_burst rig.port ~max:8 with
-  | [ (a1, _); (a2, _) ] ->
+  | [ (a1, _, _); (a2, _, _) ] ->
     Alcotest.(check int) "first buffer first" 0x2000 a1;
     Alcotest.(check int) "second buffer second" 0x2800 a2
   | l -> Alcotest.failf "expected two, got %d" (List.length l)
