@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench wallclock clean
 
 all: build
 
@@ -11,10 +11,18 @@ test:
 bench:
 	dune exec bench/main.exe -- quick
 
-# Full gate: build, unit/property tests, then two telemetry smoke runs —
+# Wall-clock throughput + allocation profile of the simulator itself
+# (writes BENCH_wallclock.json; exits non-zero when the ff_write fast
+# path blows its minor-allocation budget).
+wallclock:
+	dune exec bench/main.exe -- wallclock
+
+# Full gate: build, unit/property tests, then three smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
-# families in the Prometheus dump, and Fig. 5 with flow tracing enabled
-# must produce an analyzable trace covering the measurement stages.
+# families in the Prometheus dump, Fig. 5 with flow tracing enabled
+# must produce an analyzable trace covering the measurement stages, and
+# the wall-clock bench must keep the ff_write fast path within its
+# minor-allocation budget (the zero-copy regression gate).
 check:
 	dune build
 	dune runtest
@@ -35,6 +43,7 @@ check:
 	    || { echo "check: stage $$s missing from flow-trace analysis"; exit 1; }; \
 	  echo "check: stage $$s present"; \
 	done
+	dune exec bench/main.exe -- wallclock quick
 	@echo "check: OK"
 
 clean:

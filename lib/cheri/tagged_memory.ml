@@ -152,6 +152,32 @@ let tag_at t ~addr =
   phys_check t ~addr ~len:1;
   Bytes.get t.tags (addr / granule) = '\001'
 
+(* Escaping a borrow window faults exactly like the per-access checks the
+   borrow replaced: same exception, same kind, the absolute address of
+   the offending byte. *)
+let borrow_oob =
+  {
+    Dsim.Slice.raise_oob =
+      (fun ~addr ~len ~detail ->
+        Fault.raise_fault Out_of_bounds ~address:addr
+          ~detail:
+            (Printf.sprintf "slice access [0x%x,+0x%x) %s" addr len detail));
+  }
+
+let borrow t ~cap ~addr ~len =
+  Capability.check_access cap Load ~addr ~len;
+  phys_check t ~addr ~len;
+  Dsim.Slice.make t.data ~off:addr ~len ~abs:addr ~oob:borrow_oob
+
+let borrow_mut t ~cap ~addr ~len =
+  Capability.check_access cap Store ~addr ~len;
+  phys_check t ~addr ~len;
+  (* A mutable borrow is a bulk raw store: any capability tags in the
+     window are destroyed up front, as each individual checked store
+     would have destroyed them. *)
+  clear_tags t ~addr ~len;
+  Dsim.Slice.make t.data ~off:addr ~len ~abs:addr ~oob:borrow_oob
+
 let unchecked_blit_out t ~addr ~dst ~dst_off ~len =
   phys_check t ~addr ~len;
   Bytes.blit t.data addr dst dst_off len

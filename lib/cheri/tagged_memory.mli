@@ -56,6 +56,23 @@ val load_cap : t -> cap:Capability.t -> addr:int -> Capability.t
 val tag_at : t -> addr:int -> bool
 (** Is the granule containing [addr] tagged? For tests/diagnostics. *)
 
+(** {1 Borrow windows (one check per frame)}
+
+    The zero-copy packet path authorises a whole frame with a single
+    {!Capability.check_access}, then reads/writes it in place through a
+    {!Dsim.Slice.t} over the backing store. Protection is preserved:
+    the check covers exactly the bytes the slice exposes, and any access
+    escaping the window raises the same [Fault.Capability_fault]
+    (kind [Out_of_bounds], at the offending absolute address) that the
+    per-access checks would have raised. *)
+
+val borrow : t -> cap:Capability.t -> addr:int -> len:int -> Dsim.Slice.t
+(** Read borrow: one Load check over [\[addr, addr+len)]. *)
+
+val borrow_mut : t -> cap:Capability.t -> addr:int -> len:int -> Dsim.Slice.t
+(** Write borrow: one Store check, and — like any raw data store — the
+    window's capability tags are cleared (eagerly, at borrow time). *)
+
 val unchecked_blit_out : t -> addr:int -> dst:bytes -> dst_off:int -> len:int -> unit
 (** Physical access without a capability — reserved for the DMA engine,
     which the paper's threat model trusts (the NIC is configured by the

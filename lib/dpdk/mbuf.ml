@@ -84,6 +84,9 @@ let free m =
     invalid_arg
       (Printf.sprintf "Mbuf.free: double free of buffer 0x%x" m.buf_addr);
   m.in_use <- false;
+  (* Drop the trace context now, not at the next alloc: a free pool
+     buffer must not pin trace records live across reuse. *)
+  m.flow <- None;
   Dsim.Metrics.add m.pool.in_use_metric (-1);
   Queue.push m m.pool.free_list
 
@@ -134,3 +137,9 @@ let read mem m ~off ~len =
   dst
 
 let contents mem m = read mem m ~off:0 ~len:m.data_len
+
+let borrow mem m =
+  Cheri.Tagged_memory.borrow mem ~cap:m.bcap ~addr:(data_addr m) ~len:m.data_len
+
+let borrow_frame mem m =
+  Cheri.Tagged_memory.borrow_mut mem ~cap:m.bcap ~addr:m.buf_addr ~len:m.buf_len

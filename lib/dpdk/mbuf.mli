@@ -75,3 +75,21 @@ val write : Cheri.Tagged_memory.t -> t -> off:int -> bytes -> unit
 val read : Cheri.Tagged_memory.t -> t -> off:int -> len:int -> bytes
 val contents : Cheri.Tagged_memory.t -> t -> bytes
 (** The whole data region. *)
+
+(** {1 Borrows (zero-copy access)}
+
+    One capability check for the whole region, then in-place access
+    through the returned slice — the rte_mbuf discipline, where the
+    stack parses and builds frames in the buffer the NIC DMAs from.
+    Slice accesses escaping the window raise [Cheri.Fault], see
+    {!Cheri.Tagged_memory.borrow}. The slice aliases the buffer: it
+    must not be used after {!free}. *)
+
+val borrow : Cheri.Tagged_memory.t -> t -> Dsim.Slice.t
+(** Read borrow of the data region (RX parse-in-place). *)
+
+val borrow_frame : Cheri.Tagged_memory.t -> t -> Dsim.Slice.t
+(** Write borrow of the {e whole} buffer — headroom included — so TX can
+    lay the payload down once and {!prepend} headers in place. Slice
+    offsets are buffer-relative: the data region starts at
+    {!headroom}. Clears the window's tags, as raw stores would. *)

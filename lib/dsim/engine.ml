@@ -2,64 +2,98 @@ type handle = {
   at : Time.t;
   seq : int;
   fn : unit -> unit;
+  owner : t;
   mutable cancelled : bool;
   mutable fired : bool;
 }
 
-type t = {
+and t = {
   mutable clock : Time.t;
   heap : handle Heap.t;
-  mutable seq : int;
+  mutable next_seq : int;
   mutable live : int;
+  mutable fired_total : int;
 }
 
 let cmp_event a b =
   let c = Time.compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () = { clock = Time.zero; heap = Heap.create ~cmp:cmp_event; seq = 0; live = 0 }
+let create () =
+  { clock = Time.zero; heap = Heap.create ~cmp:cmp_event; next_seq = 0;
+    live = 0; fired_total = 0 }
 
 let now t = t.clock
 
 let schedule_at t ~at fn =
   let at = Time.max at t.clock in
-  let h = { at; seq = t.seq; fn; cancelled = false; fired = false } in
-  t.seq <- t.seq + 1;
+  let h =
+    { at; seq = t.next_seq; fn; owner = t; cancelled = false; fired = false }
+  in
+  t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.heap h;
   h
 
 let schedule t ~delay fn = schedule_at t ~at:(Time.add t.clock delay) fn
 
+(* Rebuild the heap without cancelled entries. Re-pushing preserves the
+   (time, seq) order, so compaction cannot perturb event ordering. *)
+let compact t =
+  let keep = ref [] in
+  let rec drain () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some h ->
+      if not h.cancelled then keep := h :: !keep;
+      drain ()
+  in
+  drain ();
+  List.iter (Heap.push t.heap) !keep
+
+(* Compact once cancelled handles outnumber live ones: amortized O(log n)
+   per cancel, and mass-cancellation (e.g. a teardown cancelling every
+   TCP timer) can no longer pin a heap full of dead closures. *)
+let compaction_floor = 64
+
 let cancel h =
-  h.cancelled <- true
+  if (not h.cancelled) && not h.fired then begin
+    h.cancelled <- true;
+    let t = h.owner in
+    t.live <- t.live - 1;
+    if Heap.size t.heap > compaction_floor && 2 * t.live < Heap.size t.heap then
+      compact t
+  end
 
 let is_pending h = (not h.cancelled) && not h.fired
 
-(* [live] over-counts cancelled events still sitting in the heap; resync
-   lazily as they are popped. *)
 let pending_count t = t.live
+let heap_size t = Heap.size t.heap
+let events_fired t = t.fired_total
 
+(* The dispatch loop uses the [_exn] heap accessors: no [Some] cell is
+   allocated per fired event, which matters at millions of events per
+   simulated second. *)
 let rec step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some h ->
-    t.live <- t.live - 1;
+  if Heap.is_empty t.heap then false
+  else begin
+    let h = Heap.pop_exn t.heap in
     if h.cancelled then step t
     else begin
+      t.live <- t.live - 1;
       t.clock <- h.at;
       h.fired <- true;
+      t.fired_total <- t.fired_total + 1;
       h.fn ();
       true
     end
+  end
 
 let rec drop_cancelled t =
-  match Heap.peek t.heap with
-  | Some h when h.cancelled ->
-    ignore (Heap.pop t.heap);
-    t.live <- t.live - 1;
+  if (not (Heap.is_empty t.heap)) && (Heap.peek_exn t.heap).cancelled then begin
+    ignore (Heap.pop_exn t.heap);
     drop_cancelled t
-  | _ -> ()
+  end
 
 let run ?until ?max_events t =
   let fired = ref 0 in
@@ -68,9 +102,10 @@ let run ?until ?max_events t =
   in
   let rec loop () =
     drop_cancelled t;
-    match Heap.peek t.heap with
-    | None -> Option.iter (fun u -> if Time.(u > t.clock) then t.clock <- u) until
-    | Some h ->
+    if Heap.is_empty t.heap then
+      Option.iter (fun u -> if Time.(u > t.clock) then t.clock <- u) until
+    else begin
+      let h = Heap.peek_exn t.heap in
       let in_window = match until with None -> true | Some u -> Time.(h.at <= u) in
       if in_window && budget_ok () then begin
         if step t then incr fired;
@@ -78,6 +113,7 @@ let run ?until ?max_events t =
       end
       else if not in_window then
         Option.iter (fun u -> if Time.(u > t.clock) then t.clock <- u) until
+    end
   in
   loop ()
 

@@ -24,12 +24,25 @@ val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
 (** Schedule relative to {!now}. *)
 
 val cancel : handle -> unit
-(** Idempotent; cancelling a fired event is a no-op. *)
+(** Idempotent; cancelling a fired event is a no-op. When cancelled
+    handles come to outnumber live ones the heap is compacted in place,
+    so mass cancellation (e.g. tearing down every TCP timer) does not
+    pin dead closures until their deadline pops. *)
 
 val is_pending : handle -> bool
 
 val pending_count : t -> int
-(** Number of live (not cancelled, not fired) events. *)
+(** Number of live (not cancelled, not fired) events. Exact: cancelled
+    events are discounted immediately, not lazily at pop time. *)
+
+val heap_size : t -> int
+(** Entries physically in the heap, including cancelled ones awaiting
+    pop or compaction. For tests/diagnostics;
+    [heap_size t >= pending_count t] always holds. *)
+
+val events_fired : t -> int
+(** Total events executed since {!create} (the wall-clock benchmark's
+    events/sec numerator). *)
 
 val step : t -> bool
 (** Fire the next event, advancing the clock to it. Returns [false] when

@@ -39,6 +39,11 @@ let push h x =
 
 let peek h = if h.len = 0 then None else Some h.data.(0)
 
+(* Allocation-free variant for the scheduler's hot loop. *)
+let peek_exn h =
+  if h.len = 0 then invalid_arg "Heap.peek_exn: empty heap";
+  h.data.(0)
+
 let sift_down h =
   let rec down i =
     let l = (2 * i) + 1 and r = (2 * i) + 2 in
@@ -54,22 +59,19 @@ let sift_down h =
   in
   down 0
 
-let pop h =
-  if h.len = 0 then None
-  else begin
-    let top = h.data.(0) in
-    h.len <- h.len - 1;
-    if h.len > 0 then begin
-      h.data.(0) <- h.data.(h.len);
-      sift_down h
-    end;
-    Some top
-  end
-
+(* Allocation-free variant for the scheduler's hot loop: no [Some] cell
+   per fired event. *)
 let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+  if h.len = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let top = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    sift_down h
+  end;
+  top
+
+let pop h = if h.len = 0 then None else Some (pop_exn h)
 
 let clear h = h.len <- 0
 

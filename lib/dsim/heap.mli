@@ -13,6 +13,10 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Smallest element without removing it. *)
 
+val peek_exn : 'a t -> 'a
+(** Allocation-free [peek] for hot loops.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the smallest element. *)
 

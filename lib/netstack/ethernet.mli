@@ -17,10 +17,15 @@ val ethertype_of_int : int -> ethertype
 val build : header -> payload:bytes -> bytes
 (** Allocate and fill a full frame. *)
 
-val build_into : header -> bytes -> unit
-(** Write the 14-byte header at offset 0 of a pre-sized buffer. *)
+val build_into : header -> bytes -> off:int -> unit
+(** Write the 14-byte header at [off] — e.g. into mbuf headroom just
+    prepended ahead of an IP packet already in place. *)
 
 val parse : bytes -> (header * int, string) result
 (** Returns the header and the payload offset. *)
+
+val parse_at : bytes -> off:int -> len:int -> (header * int, string) result
+(** Parse a frame in place at [off]; the returned payload offset is
+    absolute (relative to [b]'s start, like [off]). *)
 
 val pp_header : Format.formatter -> header -> unit

@@ -90,14 +90,15 @@ let parse b ~off ~len =
     end
   end
 
+(* Allocation-free: the 12-byte pseudo-header's one's-complement sum is
+   just the 16-bit halves of both addresses plus protocol and length,
+   so build the running sum arithmetically instead of staging bytes. *)
 let pseudo_header_sum ~src ~dst ~protocol ~len =
-  let b = Bytes.create 12 in
-  set_ip b 0 src;
-  set_ip b 4 dst;
-  Bytes.set b 8 '\000';
-  Bytes.set b 9 (Char.chr (protocol_to_int protocol land 0xff));
-  set_u16 b 10 len;
-  Checksum.ones_complement_sum b ~off:0 ~len:12
+  let halves ip =
+    let v = Int32.to_int (Ipv4_addr.to_int32 ip) land 0xffffffff in
+    (v lsr 16) + (v land 0xffff)
+  in
+  halves src + halves dst + protocol_to_int protocol + len
 
 let pp_header fmt h =
   let proto =

@@ -25,15 +25,20 @@ let write t src ~off ~len =
   t.len <- t.len + n;
   n
 
+let blit_to t ~off ~len ~dst ~dst_off =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Ring_buf.blit_to: range exceeds buffered data";
+  let cap = capacity t in
+  let start = (t.head + off) mod cap in
+  let first = min len (cap - start) in
+  Bytes.blit t.data start dst dst_off first;
+  if len > first then Bytes.blit t.data 0 dst (dst_off + first) (len - first)
+
 let peek t ~off ~len =
   if off < 0 || len < 0 || off + len > t.len then
     invalid_arg "Ring_buf.peek: range exceeds buffered data";
-  let cap = capacity t in
-  let start = (t.head + off) mod cap in
   let dst = Bytes.create len in
-  let first = min len (cap - start) in
-  Bytes.blit t.data start dst 0 first;
-  if len > first then Bytes.blit t.data 0 dst first (len - first);
+  blit_to t ~off ~len ~dst ~dst_off:0;
   dst
 
 let drop t n =
@@ -44,8 +49,7 @@ let drop t n =
 let read_into t ~dst ~dst_off ~len =
   let n = min len t.len in
   if n > 0 then begin
-    let b = peek t ~off:0 ~len:n in
-    Bytes.blit b 0 dst dst_off n;
+    blit_to t ~off:0 ~len:n ~dst ~dst_off;
     drop t n
   end;
   n

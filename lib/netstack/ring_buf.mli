@@ -21,6 +21,11 @@ val peek : t -> off:int -> len:int -> bytes
 (** Copy [len] bytes starting [off] bytes after the head, without
     consuming. @raise Invalid_argument when the range exceeds {!length}. *)
 
+val blit_to : t -> off:int -> len:int -> dst:bytes -> dst_off:int -> unit
+(** Like {!peek} but into a caller buffer (wrap-safe, no allocation) —
+    how the zero-copy TX path reads segment payload straight into mbuf
+    headroom. @raise Invalid_argument when the range exceeds {!length}. *)
+
 val read_into : t -> dst:bytes -> dst_off:int -> len:int -> int
 (** Consume up to [len] bytes from the head into [dst]; returns the
     count actually read. *)

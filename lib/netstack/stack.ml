@@ -181,9 +181,13 @@ let tcp_sock_of_fd t fd =
 let set_capture t cap = t.capture <- cap
 let capture t = t.capture
 
-let record_frame t dir frame =
+(* Capture is the only consumer that needs a frame as owned bytes; when
+   detached (the common case) the zero-copy paths materialize nothing. *)
+let record_tx_mbuf t m =
   match t.capture with
-  | Some c -> Capture.record c ~at:(Dsim.Engine.now t.engine) dir frame
+  | Some c ->
+    Capture.record c ~at:(Dsim.Engine.now t.engine) Capture.Tx
+      (Dpdk.Mbuf.contents t.mem m)
   | None -> ()
 
 let drop_rx ?(flow = None) t stage reason =
@@ -227,13 +231,20 @@ let send_frame t ?(flow = None) ~dst_mac ~ethertype payload =
     Dsim.Flowtrace.(drop default ~flow Eth_tx Mbuf_exhausted)
   | Some m ->
     Dpdk.Mbuf.set_flow m flow;
-    let frame_len = Ethernet.header_len + Bytes.length payload in
+    let plen = Bytes.length payload in
+    let frame_len = Ethernet.header_len + plen in
+    (* One Store check for the buffer, then the frame is laid out in
+       place — no staging copy. *)
+    let fs = Dpdk.Mbuf.borrow_frame t.mem m in
+    let b = Dsim.Slice.base fs
+    and b0 = Dsim.Slice.base_off fs in
+    let off = Dpdk.Mbuf.headroom m in
     ignore (Dpdk.Mbuf.append m frame_len);
-    let frame = Bytes.create frame_len in
-    Ethernet.build_into { Ethernet.dst = dst_mac; src = t.mac; ethertype } frame;
-    Bytes.blit payload 0 frame Ethernet.header_len (Bytes.length payload);
-    Dpdk.Mbuf.write t.mem m ~off:0 frame;
-    record_frame t Capture.Tx frame;
+    Dsim.Slice.check fs ~off ~len:frame_len;
+    Ethernet.build_into { Ethernet.dst = dst_mac; src = t.mac; ethertype } b
+      ~off:(b0 + off);
+    Bytes.blit payload 0 b (b0 + off + Ethernet.header_len) plen;
+    record_tx_mbuf t m;
     (match Dpdk.Eth_dev.tx_burst t.dev [ m ] with
     | [] ->
       t.counters.tx_frames <- t.counters.tx_frames + 1;
@@ -257,7 +268,14 @@ let next_hop t dst =
   if Ipv4_addr.in_same_subnet t.config.ip dst ~prefix:t.config.prefix then dst
   else match t.config.gateway with Some gw -> gw | None -> dst
 
-let ip_output t ?(flow = None) ~dst ~protocol payload =
+(* The zero-copy IP transmit path: allocate the frame's mbuf up front,
+   let [write_payload] lay the transport segment down once at the given
+   backing offset, then prepend the IPv4 and Ethernet headers in place —
+   the rte_pktmbuf discipline, replacing the old allocate-and-blit chain
+   (segment bytes -> IP packet bytes -> frame bytes -> mbuf).
+   [write_payload b off] must fill exactly [payload_len] bytes of [b]
+   starting at [off]. *)
+let ip_output_into t ?(flow = None) ~dst ~protocol ~payload_len write_payload =
   let flow =
     match flow with
     | Some _ ->
@@ -278,29 +296,72 @@ let ip_output t ?(flow = None) ~dst ~protocol payload =
         Ip_out
   in
   t.ident <- (t.ident + 1) land 0xffff;
+  let total_len = Ipv4.header_len + payload_len in
   let header =
-    {
-      Ipv4.src = t.config.ip;
-      dst;
-      protocol;
-      ttl = 64;
-      ident = t.ident;
-      total_len = Ipv4.header_len + Bytes.length payload;
-    }
+    { Ipv4.src = t.config.ip; dst; protocol; ttl = 64; ident = t.ident; total_len }
   in
-  let packet = Ipv4.build header ~payload in
   let hop = next_hop t dst in
   match Arp_cache.lookup t.arp ~now:(now t) hop with
-  | Some dst_mac -> send_frame t ~flow ~dst_mac ~ethertype:Ethernet.Ipv4 packet
+  | Some dst_mac -> (
+    Dsim.Flowtrace.hop flow Eth_tx ~at:(now t);
+    let pool = Dpdk.Eth_dev.rx_pool t.dev in
+    match Dpdk.Mbuf.alloc pool with
+    | None ->
+      t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1;
+      Dsim.Flowtrace.(drop default ~flow Eth_tx Mbuf_exhausted)
+    | Some m ->
+      Dpdk.Mbuf.set_flow m flow;
+      (* One Store check covers the whole buffer; everything below is
+         in-place construction through the borrow window. *)
+      let fs = Dpdk.Mbuf.borrow_frame t.mem m in
+      let b = Dsim.Slice.base fs
+      and b0 = Dsim.Slice.base_off fs in
+      (* Transport segment once, at the data start... *)
+      let seg_off = Dpdk.Mbuf.headroom m in
+      ignore (Dpdk.Mbuf.append m payload_len);
+      Dsim.Slice.check fs ~off:seg_off ~len:payload_len;
+      write_payload b (b0 + seg_off);
+      (* ...then each header prepended into the headroom. *)
+      ignore (Dpdk.Mbuf.prepend m Ipv4.header_len);
+      let ip_off = Dpdk.Mbuf.headroom m in
+      Dsim.Slice.check fs ~off:ip_off ~len:Ipv4.header_len;
+      Ipv4.build_into header b ~off:(b0 + ip_off);
+      ignore (Dpdk.Mbuf.prepend m Ethernet.header_len);
+      let eth_off = Dpdk.Mbuf.headroom m in
+      Dsim.Slice.check fs ~off:eth_off ~len:Ethernet.header_len;
+      Ethernet.build_into
+        { Ethernet.dst = dst_mac; src = t.mac; ethertype = Ethernet.Ipv4 }
+        b ~off:(b0 + eth_off);
+      record_tx_mbuf t m;
+      (match Dpdk.Eth_dev.tx_burst t.dev [ m ] with
+      | [] ->
+        t.counters.tx_frames <- t.counters.tx_frames + 1;
+        Dsim.Metrics.incr t.metrics.m_tx_frames;
+        Dsim.Metrics.incr t.metrics.m_tx_bytes
+          ~by:(Ethernet.header_len + total_len)
+      | rejected ->
+        List.iter Dpdk.Mbuf.free rejected;
+        t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1))
   | None ->
-    (* Parked awaiting ARP resolution: the trace ends here (the flushed
-       copy is not a drop, but its trace context is not retained). *)
+    (* Parked awaiting ARP resolution: materialize the packet — the one
+       copy on this slow path, since the pending queue outlives any
+       frame buffer. The trace ends here (the flushed copy is not a
+       drop, but its trace context is not retained). *)
+    let packet = Bytes.create total_len in
+    Ipv4.build_into header packet ~off:0;
+    write_payload packet Ipv4.header_len;
     ignore (Arp_cache.enqueue_pending t.arp hop packet);
     if not (Arp_cache.request_outstanding t.arp ~now:(now t) hop) then begin
       t.counters.arp_requests <- t.counters.arp_requests + 1;
       send_arp t
         (Arp.request ~sender_mac:t.mac ~sender_ip:t.config.ip ~target_ip:hop)
     end
+
+(* Owned-bytes payload (ICMP, parked-packet style callers): one blit
+   into the frame under construction. *)
+let ip_output t ?(flow = None) ~dst ~protocol payload =
+  ip_output_into t ~flow ~dst ~protocol ~payload_len:(Bytes.length payload)
+    (fun b off -> Bytes.blit payload 0 b off (Bytes.length payload))
 
 (* ------------------------------------------------------------------ *)
 (* TCP plumbing                                                         *)
@@ -310,6 +371,7 @@ let conn_key_of (cb : Tcp_cb.t) : conn_key =
   (Ipv4_addr.to_int32 cb.remote_ip, cb.remote_port, cb.local_port)
 
 let emit_tcp t (cb : Tcp_cb.t) header payload =
+  let payload_len = Tcp_cb.payload_len payload in
   let ft = Dsim.Flowtrace.default in
   let flow =
     if not (Dsim.Flowtrace.enabled ft) then None
@@ -326,8 +388,7 @@ let emit_tcp t (cb : Tcp_cb.t) header payload =
          original transmission's trace. snd_nxt would miss RTO resends,
          which roll snd_nxt back to snd_una before re-flushing. *)
       let is_rtx =
-        Bytes.length payload > 0
-        && Tcp_seq.lt header.Tcp_wire.seq cb.Tcp_cb.snd_max
+        payload_len > 0 && Tcp_seq.lt header.Tcp_wire.seq cb.Tcp_cb.snd_max
       in
       let parent =
         if is_rtx then Tcp_cb.tx_trace_find cb header.Tcp_wire.seq else None
@@ -336,16 +397,22 @@ let emit_tcp t (cb : Tcp_cb.t) header payload =
         Dsim.Flowtrace.origin ft ~at:(now t) ~flow:label ?parent Tcp_out
       in
       (match flow with
-      | Some c when Bytes.length payload > 0 && not is_rtx ->
+      | Some c when payload_len > 0 && not is_rtx ->
         Tcp_cb.tx_trace_remember cb header.Tcp_wire.seq (Dsim.Flowtrace.id c)
       | _ -> ());
       flow
     end
   in
-  let segment =
-    Tcp_wire.build ~src:cb.local_ip ~dst:cb.remote_ip header ~payload
-  in
-  ip_output t ~flow ~dst:cb.remote_ip ~protocol:Ipv4.Tcp segment
+  (* Segment serialized straight into the frame: payload (often directly
+     out of the send ring) first, then the TCP header written before it
+     and checksummed in place. *)
+  let hl = Tcp_wire.header_len header in
+  ip_output_into t ~flow ~dst:cb.remote_ip ~protocol:Ipv4.Tcp
+    ~payload_len:(hl + payload_len) (fun b off ->
+      Tcp_cb.payload_blit payload b ~dst_off:(off + hl);
+      ignore
+        (Tcp_wire.write_header ~src:cb.local_ip ~dst:cb.remote_ip header b ~off
+           ~payload_len))
 
 let handle_event t (sock : Socket.tcp_sock) ~parent event =
   match (event : Tcp_cb.event) with
@@ -438,10 +505,12 @@ let send_rst t ~(ip_hdr : Ipv4.header) ~(tcp_hdr : Tcp_wire.header) ~payload_len
   | None -> ()
   | Some rst ->
     t.counters.rst_sent <- t.counters.rst_sent + 1;
-    let segment =
-      Tcp_wire.build ~src:t.config.ip ~dst:ip_hdr.Ipv4.src rst ~payload:Bytes.empty
-    in
-    ip_output t ~dst:ip_hdr.Ipv4.src ~protocol:Ipv4.Tcp segment
+    let hl = Tcp_wire.header_len rst in
+    ip_output_into t ~dst:ip_hdr.Ipv4.src ~protocol:Ipv4.Tcp ~payload_len:hl
+      (fun b off ->
+        ignore
+          (Tcp_wire.write_header ~src:t.config.ip ~dst:ip_hdr.Ipv4.src rst b
+             ~off ~payload_len:0))
 
 let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
   let build fd =
@@ -469,8 +538,10 @@ let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
     drop_rx ~flow t Dsim.Flowtrace.Tcp_in reason
   | Ok (hdr, payload_off) -> (
     Dsim.Flowtrace.hop flow Tcp_in ~at:(now t);
+    (* The payload stays a region of the borrowed frame; Tcp_input blits
+       in-order data straight into the receive ring and copies only what
+       must outlive the frame (reassembly queue). *)
     let payload_len = off + len - payload_off in
-    let payload = Bytes.sub buf payload_off payload_len in
     let key : conn_key =
       (Ipv4_addr.to_int32 ip_hdr.Ipv4.src, hdr.Tcp_wire.src_port, hdr.Tcp_wire.dst_port)
     in
@@ -481,7 +552,9 @@ let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
       t.cur_rx_flow <- flow;
       Fun.protect
         ~finally:(fun () -> t.cur_rx_flow <- None)
-        (fun () -> Tcp_input.process sock.Socket.cb ctx hdr payload);
+        (fun () ->
+          Tcp_input.process sock.Socket.cb ctx hdr ~buf ~off:payload_off
+            ~len:payload_len);
       if Tcp_cb.readable_bytes sock.Socket.cb > readable_before then
         Dsim.Flowtrace.hop flow Sock ~at:(now t);
       if sock.Socket.cb.Tcp_cb.state <> Tcp_cb.Closed then
@@ -545,7 +618,13 @@ let udp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
 (* Frame input                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let arp_input t ?(flow = None) buf ~off =
+let arp_input t ?(flow = None) buf ~off ~len =
+  (* [Arp.parse] bounds-checks against the backing buffer; on the live RX
+     path that is the whole borrowed frame buffer, so enforce the actual
+     frame length here. *)
+  if len < Arp.packet_len then
+    drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
+  else
   match Arp.parse buf ~off with
   | Error _ -> drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
   | Ok pkt ->
@@ -583,20 +662,29 @@ let ipv4_input t ?(flow = None) buf ~off ~len =
         drop_rx ~flow t Dsim.Flowtrace.Ip_rx Dsim.Flowtrace.Unknown_proto
     end
 
-let handle_frame t ?(flow = None) frame =
+(* One capability check per received frame: the caller hands us a slice
+   already validated by [Mbuf.borrow]; every layer then parses in place
+   against the slice's backing region — no per-layer copies. *)
+let handle_frame t ?(flow = None) (s : Dsim.Slice.t) =
+  let len = Dsim.Slice.length s in
   t.counters.rx_frames <- t.counters.rx_frames + 1;
   Dsim.Metrics.incr t.metrics.m_rx_frames;
-  Dsim.Metrics.incr t.metrics.m_rx_bytes ~by:(Bytes.length frame);
-  record_frame t Capture.Rx frame;
-  match Ethernet.parse frame with
+  Dsim.Metrics.incr t.metrics.m_rx_bytes ~by:len;
+  (match t.capture with
+  | Some c ->
+    Capture.record c ~at:(Dsim.Engine.now t.engine) Capture.Rx
+      (Dsim.Slice.to_bytes s)
+  | None -> ());
+  Dsim.Slice.check s ~off:0 ~len;
+  let buf = Dsim.Slice.base s and off = Dsim.Slice.base_off s in
+  match Ethernet.parse_at buf ~off ~len with
   | Error _ -> drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
   | Ok (eth, payload_off) -> (
     Dsim.Flowtrace.hop flow Eth_rx ~at:(now t);
+    let payload_len = off + len - payload_off in
     match eth.Ethernet.ethertype with
-    | Ethernet.Arp -> arp_input t ~flow frame ~off:payload_off
-    | Ethernet.Ipv4 ->
-      ipv4_input t ~flow frame ~off:payload_off
-        ~len:(Bytes.length frame - payload_off)
+    | Ethernet.Arp -> arp_input t ~flow buf ~off:payload_off ~len:payload_len
+    | Ethernet.Ipv4 -> ipv4_input t ~flow buf ~off:payload_off ~len:payload_len
     | Ethernet.Unknown _ ->
       drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Unknown_proto)
 
@@ -629,11 +717,12 @@ let loop_once t =
   let n = List.length mbufs in
   List.iter
     (fun m ->
-      let frame = Dpdk.Mbuf.contents t.mem m in
-      (* Read the trace context before [free] resets the mbuf. *)
       let flow = Dpdk.Mbuf.flow m in
-      Dpdk.Mbuf.free m;
-      handle_frame t ~flow frame)
+      (* Borrow the frame in place (one capability check), process it,
+         and only then return the mbuf to the pool. *)
+      let s = Dpdk.Mbuf.borrow t.mem m in
+      handle_frame t ~flow s;
+      Dpdk.Mbuf.free m)
     mbufs;
   service_tcp t;
   (match t.hook with Some h -> h t | None -> ());
@@ -909,10 +998,12 @@ let udp_sendto t fd ~ip ~port ~buf =
   else if Bytes.length buf + Udp.header_len + Ipv4.header_len > t.config.mtu then
     Error Errno.EMSGSIZE
   else begin
-    let dgram =
-      Udp.build ~src:t.config.ip ~dst:ip ~src_port ~dst_port:port ~payload:buf
-    in
-    ip_output t ~dst:ip ~protocol:Ipv4.Udp dgram;
+    let blen = Bytes.length buf in
+    ip_output_into t ~dst:ip ~protocol:Ipv4.Udp
+      ~payload_len:(Udp.header_len + blen) (fun b off ->
+        Bytes.blit buf 0 b (off + Udp.header_len) blen;
+        Udp.write_header ~src:t.config.ip ~dst:ip ~src_port ~dst_port:port b
+          ~off ~payload_len:blen);
     Ok ()
   end
 

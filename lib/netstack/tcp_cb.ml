@@ -44,9 +44,33 @@ type stat =
   | Window_stall
   | Rx_drop of Dsim.Flowtrace.reason
 
+(* Where an outgoing segment's payload bytes live. [Payload_ring] points
+   straight into the send buffer, so the emitter can blit the data into
+   the frame under construction without an intermediate copy. *)
+type payload =
+  | Payload_none
+  | Payload_bytes of bytes
+  | Payload_ring of { ring : Ring_buf.t; off : int; len : int }
+
+let payload_len = function
+  | Payload_none -> 0
+  | Payload_bytes b -> Bytes.length b
+  | Payload_ring { len; _ } -> len
+
+let payload_blit p dst ~dst_off =
+  match p with
+  | Payload_none -> ()
+  | Payload_bytes b -> Bytes.blit b 0 dst dst_off (Bytes.length b)
+  | Payload_ring { ring; off; len } -> Ring_buf.blit_to ring ~off ~len ~dst ~dst_off
+
+let payload_to_bytes = function
+  | Payload_none -> Bytes.empty
+  | Payload_bytes b -> b
+  | Payload_ring { ring; off; len } -> Ring_buf.peek ring ~off ~len
+
 type ctx = {
   now : unit -> Dsim.Time.t;
-  emit : Tcp_wire.header -> bytes -> unit;
+  emit : Tcp_wire.header -> payload -> unit;
   on_event : event -> unit;
   stat : stat -> unit;
 }
@@ -238,7 +262,7 @@ let open_active t ctx ~remote_ip ~remote_port ~iss =
   in
   t.segments_out <- t.segments_out + 1;
   t.rtx_deadline <- Some (Dsim.Time.add (ctx.now ()) t.rto);
-  ctx.emit header Bytes.empty
+  ctx.emit header Payload_none
 
 let open_passive t = t.state <- Listen
 

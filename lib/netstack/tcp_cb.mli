@@ -41,9 +41,23 @@ type stat =
   | Window_stall
   | Rx_drop of Dsim.Flowtrace.reason
 
+(** Where an outgoing segment's payload lives. [Payload_ring] points
+    into the send buffer so the emitter can blit it straight into the
+    frame under construction (zero-copy TX); [Payload_bytes] is the
+    owned-buffer fallback. *)
+type payload =
+  | Payload_none
+  | Payload_bytes of bytes
+  | Payload_ring of { ring : Ring_buf.t; off : int; len : int }
+
+val payload_len : payload -> int
+val payload_blit : payload -> bytes -> dst_off:int -> unit
+val payload_to_bytes : payload -> bytes
+(** Materialize a copy (tests, non-performance paths). *)
+
 type ctx = {
   now : unit -> Dsim.Time.t;
-  emit : Tcp_wire.header -> bytes -> unit;
+  emit : Tcp_wire.header -> payload -> unit;
       (** Hand a segment to the IP layer. *)
   on_event : event -> unit;  (** Socket-layer notification. *)
   stat : stat -> unit;  (** Telemetry notification (may be a no-op). *)

@@ -157,13 +157,15 @@ let ooo_insert cb ctx ~seq payload =
     (* Queue full, drop — the sender retransmits. *)
     ctx.stat (Rx_drop Dsim.Flowtrace.Out_of_window)
 
-let rec accept_in_order cb ctx ~seq payload =
-  let len = Bytes.length payload in
+(* The in-order payload is a region of [buf] — on the live RX path the
+   borrowed frame itself — consumed here with a single blit into the
+   receive ring. *)
+let rec accept_in_order cb ctx ~seq ~buf ~off ~len =
   (* Trim any prefix we already consumed (retransmission overlap). *)
   let skip = min len (max 0 (Tcp_seq.sub cb.rcv_nxt seq)) in
   let fresh = len - skip in
   if fresh > 0 then begin
-    let accepted = Ring_buf.write cb.rcv_buf payload ~off:skip ~len:fresh in
+    let accepted = Ring_buf.write cb.rcv_buf buf ~off:(off + skip) ~len:fresh in
     if accepted > 0 then begin
       cb.rcv_nxt <- Tcp_seq.add cb.rcv_nxt accepted;
       cb.bytes_in <- cb.bytes_in + accepted;
@@ -182,14 +184,14 @@ and drain_ooo cb ctx =
   | (seq, payload) :: rest when Tcp_seq.le seq cb.rcv_nxt ->
     cb.ooo_queue <- rest;
     if Tcp_seq.ge (Tcp_seq.add seq (Bytes.length payload)) cb.rcv_nxt then begin
-      accept_in_order cb ctx ~seq payload;
+      accept_in_order cb ctx ~seq ~buf:payload ~off:0
+        ~len:(Bytes.length payload);
       cb.need_ack_now <- true
     end
     else drain_ooo cb ctx (* fully stale entry *)
   | _ -> ()
 
-let process_payload cb ctx (hdr : Tcp_wire.header) payload =
-  let len = Bytes.length payload in
+let process_payload cb ctx (hdr : Tcp_wire.header) ~buf ~off ~len =
   let seg_fin = hdr.flags.fin in
   if len = 0 && not seg_fin then ()
   else begin
@@ -197,14 +199,15 @@ let process_payload cb ctx (hdr : Tcp_wire.header) payload =
     if Tcp_seq.gt seq cb.rcv_nxt then begin
       (* Ahead of the expected sequence: park it in the reassembly
          queue and duplicate-ACK so the sender fast-retransmits the
-         missing piece. *)
-      if len > 0 then ooo_insert cb ctx ~seq payload;
+         missing piece. The copy is mandatory — the reassembly queue
+         outlives the borrowed frame. *)
+      if len > 0 then ooo_insert cb ctx ~seq (Bytes.sub buf off len);
       cb.need_ack_now <- true
     end
     else begin
       let fresh = len - min len (Tcp_seq.sub cb.rcv_nxt seq) in
       if fresh > 0 then begin
-        accept_in_order cb ctx ~seq payload;
+        accept_in_order cb ctx ~seq ~buf ~off ~len;
         cb.segs_since_ack <- cb.segs_since_ack + 1;
         if cb.segs_since_ack >= cb.config.ack_every_segments then
           cb.need_ack_now <- true
@@ -259,7 +262,7 @@ let process_time_wait cb ctx (hdr : Tcp_wire.header) =
     enter_time_wait cb ctx
   end
 
-let process cb ctx (hdr : Tcp_wire.header) payload =
+let process cb ctx (hdr : Tcp_wire.header) ~buf ~off ~len =
   cb.segments_in <- cb.segments_in + 1;
   match cb.state with
   | Closed | Listen -> ()
@@ -290,8 +293,8 @@ let process cb ctx (hdr : Tcp_wire.header) payload =
          else if Tcp_seq.gt hdr.ack cb.snd_nxt then cb.need_ack_now <- true
        end);
       if cb.state <> Syn_received then begin
-        process_ack cb ctx hdr ~payload_len:(Bytes.length payload);
-        process_payload cb ctx hdr payload
+        process_ack cb ctx hdr ~payload_len:len;
+        process_payload cb ctx hdr ~buf ~off ~len
       end
     end
 

@@ -5,11 +5,16 @@
     spawns a fresh control block via {!accept_syn} — so [process] covers
     every synchronised state plus [Syn_sent]. *)
 
-val process : Tcp_cb.t -> Tcp_cb.ctx -> Tcp_wire.header -> bytes -> unit
+val process :
+  Tcp_cb.t -> Tcp_cb.ctx -> Tcp_wire.header -> buf:bytes -> off:int ->
+  len:int -> unit
 (** Mutates the control block, fires events on the ctx, and may emit
     immediate segments (dup ACKs, fast retransmits, handshake replies).
     The regular data/ACK output happens in the caller's subsequent
-    {!Tcp_output.flush}. *)
+    {!Tcp_output.flush}. The payload is the region [\[off, off+len)] of
+    [buf] — on the live RX path this aliases the borrowed frame, so
+    [process] copies anything that must outlive the call (reassembly
+    queue); in-order data goes straight into the receive ring. *)
 
 val accept_syn :
   Tcp_cb.t -> Tcp_cb.ctx -> Tcp_wire.header -> iss:Tcp_seq.t -> unit

@@ -46,7 +46,7 @@ let send_ack cb ctx =
   let header = make_header cb ctx ~seq:cb.snd_nxt ~flags:(Tcp_wire.flag ~ack:true ()) in
   note_segment cb ~payload_len:0;
   clear_ack_state cb;
-  ctx.emit header Bytes.empty
+  ctx.emit header Payload_none
 
 let send_syn_ack cb ctx =
   let header =
@@ -66,17 +66,18 @@ let send_syn_ack cb ctx =
   in
   note_segment cb ~payload_len:0;
   arm_rtx cb ctx;
-  ctx.emit header Bytes.empty
+  ctx.emit header Payload_none
 
 let send_data_segment cb ctx ~seq ~len ~push =
   let off = Tcp_seq.sub seq cb.snd_buf_seq in
-  let payload = Ring_buf.peek cb.snd_buf ~off ~len in
   let flags = Tcp_wire.flag ~ack:true ~psh:push () in
   let header = make_header cb ctx ~seq ~flags in
   note_segment cb ~payload_len:len;
   clear_ack_state cb;
   arm_rtx cb ctx;
-  ctx.emit header payload
+  (* No copy here: the emitter blits straight out of the send buffer
+     into the frame it is building. *)
+  ctx.emit header (Payload_ring { ring = cb.snd_buf; off; len })
 
 let send_fin cb ctx =
   let flags = Tcp_wire.flag ~ack:true ~fin:true () in
@@ -87,7 +88,7 @@ let send_fin cb ctx =
   cb.snd_nxt <- Tcp_seq.add cb.snd_nxt 1;
   cb.snd_max <- Tcp_seq.max cb.snd_max cb.snd_nxt;
   arm_rtx cb ctx;
-  ctx.emit header Bytes.empty
+  ctx.emit header Payload_none
 
 let flush cb ctx =
   if can_send_data cb then begin
@@ -174,7 +175,7 @@ let retransmit_head cb ctx =
     cb.retransmissions <- cb.retransmissions + 1;
     ctx.stat Retransmit;
     note_segment cb ~payload_len:0;
-    ctx.emit header Bytes.empty
+    ctx.emit header Payload_none
   | Syn_received ->
     cb.retransmissions <- cb.retransmissions + 1;
     ctx.stat Retransmit;
@@ -196,7 +197,7 @@ let retransmit_head cb ctx =
       let flags = Tcp_wire.flag ~ack:true ~fin:true () in
       let header = make_header cb ctx ~seq:cb.snd_una ~flags in
       note_segment cb ~payload_len:0;
-      ctx.emit header Bytes.empty
+      ctx.emit header Payload_none
     end
 
 let send_window_probe cb ctx =

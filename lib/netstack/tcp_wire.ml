@@ -98,24 +98,36 @@ let write_option b off = function
     off + 12
   | Unknown_option _ -> off
 
+(* Header written at [off] with the payload already in place at
+   [off + header_len h] — the zero-copy TX path lays the payload into
+   mbuf headroom first, then prepends this header and checksums the
+   whole segment where it sits. Returns the header length. *)
+let write_header ~src ~dst h b ~off ~payload_len =
+  let hl = header_len h in
+  let len = hl + payload_len in
+  set_u16 b off h.src_port;
+  set_u16 b (off + 2) h.dst_port;
+  set_u32 b (off + 4) h.seq;
+  set_u32 b (off + 8) h.ack;
+  Bytes.set b (off + 12) (Char.chr ((hl / 4) lsl 4));
+  Bytes.set b (off + 13) (Char.chr (flags_to_int h.flags));
+  set_u16 b (off + 14) (min h.window 0xffff);
+  set_u16 b (off + 16) 0 (* checksum *);
+  set_u16 b (off + 18) 0 (* urgent pointer *);
+  let o =
+    List.fold_left (fun o opt -> write_option b o opt) (off + base_header_len)
+      h.options
+  in
+  assert (o = off + hl);
+  let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Tcp ~len in
+  set_u16 b (off + 16) (Checksum.compute ~init b ~off ~len);
+  hl
+
 let build ~src ~dst h ~payload =
   let hl = header_len h in
-  let len = hl + Bytes.length payload in
-  let b = Bytes.create len in
-  set_u16 b 0 h.src_port;
-  set_u16 b 2 h.dst_port;
-  set_u32 b 4 h.seq;
-  set_u32 b 8 h.ack;
-  Bytes.set b 12 (Char.chr ((hl / 4) lsl 4));
-  Bytes.set b 13 (Char.chr (flags_to_int h.flags));
-  set_u16 b 14 (min h.window 0xffff);
-  set_u16 b 16 0 (* checksum *);
-  set_u16 b 18 0 (* urgent pointer *);
-  let off = List.fold_left (fun o opt -> write_option b o opt) base_header_len h.options in
-  assert (off = hl);
+  let b = Bytes.create (hl + Bytes.length payload) in
   Bytes.blit payload 0 b hl (Bytes.length payload);
-  let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Tcp ~len in
-  set_u16 b 16 (Checksum.compute ~init b ~off:0 ~len);
+  ignore (write_header ~src ~dst h b ~off:0 ~payload_len:(Bytes.length payload));
   b
 
 let parse_options b ~off ~limit =

@@ -43,6 +43,13 @@ val build :
   src:Ipv4_addr.t -> dst:Ipv4_addr.t -> header -> payload:bytes -> bytes
 (** Segment bytes including checksum over the pseudo-header. *)
 
+val write_header :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> header -> bytes -> off:int ->
+  payload_len:int -> int
+(** In-place variant: the payload must already sit at
+    [off + header_len h]; writes the header at [off] and the checksum
+    over the whole segment where it lies. Returns the header length. *)
+
 val parse :
   src:Ipv4_addr.t -> dst:Ipv4_addr.t -> bytes -> off:int -> len:int ->
   (header * int, string) result

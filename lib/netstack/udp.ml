@@ -8,18 +8,24 @@ let set_u16 b off v =
 
 let get_u16 b off = (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
 
-let build ~src ~dst ~src_port ~dst_port ~payload =
-  let len = header_len + Bytes.length payload in
-  let b = Bytes.create len in
-  set_u16 b 0 src_port;
-  set_u16 b 2 dst_port;
-  set_u16 b 4 len;
-  set_u16 b 6 0;
-  Bytes.blit payload 0 b header_len (Bytes.length payload);
+(* Header at [off], payload already in place at [off + header_len]; the
+   in-mbuf TX path uses this after laying the payload down once. *)
+let write_header ~src ~dst ~src_port ~dst_port b ~off ~payload_len =
+  let len = header_len + payload_len in
+  set_u16 b off src_port;
+  set_u16 b (off + 2) dst_port;
+  set_u16 b (off + 4) len;
+  set_u16 b (off + 6) 0;
   let init = Ipv4.pseudo_header_sum ~src ~dst ~protocol:Ipv4.Udp ~len in
-  let csum = Checksum.compute ~init b ~off:0 ~len in
+  let csum = Checksum.compute ~init b ~off ~len in
   (* RFC 768: a computed zero checksum is transmitted as 0xffff. *)
-  set_u16 b 6 (if csum = 0 then 0xffff else csum);
+  set_u16 b (off + 6) (if csum = 0 then 0xffff else csum)
+
+let build ~src ~dst ~src_port ~dst_port ~payload =
+  let b = Bytes.create (header_len + Bytes.length payload) in
+  Bytes.blit payload 0 b header_len (Bytes.length payload);
+  write_header ~src ~dst ~src_port ~dst_port b ~off:0
+    ~payload_len:(Bytes.length payload);
   b
 
 let parse ~src ~dst b ~off ~len =

@@ -10,6 +10,12 @@ val build :
   payload:bytes -> bytes
 (** Datagram with checksum over the pseudo-header. *)
 
+val write_header :
+  src:Ipv4_addr.t -> dst:Ipv4_addr.t -> src_port:int -> dst_port:int ->
+  bytes -> off:int -> payload_len:int -> unit
+(** In-place variant: the payload must already sit at
+    [off + header_len]; writes the header and checksum where they lie. *)
+
 val parse :
   src:Ipv4_addr.t -> dst:Ipv4_addr.t -> bytes -> off:int -> len:int ->
   (header * int, string) result

@@ -38,6 +38,20 @@ let equal = String.equal
 let compare = String.compare
 let hash = Hashtbl.hash
 
+(* Allocation-free destination-address tests against a frame in place:
+   the RX filter runs per packet, so it must not build a [t]. *)
+let matches_bytes_at t buf ~off =
+  Bytes.length buf - off >= 6
+  && Bytes.get buf off = t.[0]
+  && Bytes.get buf (off + 1) = t.[1]
+  && Bytes.get buf (off + 2) = t.[2]
+  && Bytes.get buf (off + 3) = t.[3]
+  && Bytes.get buf (off + 4) = t.[4]
+  && Bytes.get buf (off + 5) = t.[5]
+
+let is_multicast_at buf ~off =
+  Bytes.length buf - off >= 6 && Char.code (Bytes.get buf off) land 0x01 = 1
+
 let to_string t =
   Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (Char.code t.[0])
     (Char.code t.[1]) (Char.code t.[2]) (Char.code t.[3]) (Char.code t.[4])

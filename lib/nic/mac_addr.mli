@@ -16,6 +16,14 @@ val is_multicast : t -> bool
 val to_bytes : t -> string
 (** 6 raw bytes, network order. *)
 
+val matches_bytes_at : t -> bytes -> off:int -> bool
+(** Does the 6-byte field at [off] equal this address? False when fewer
+    than 6 bytes remain. Allocation-free (per-packet RX filtering). *)
+
+val is_multicast_at : bytes -> off:int -> bool
+(** Is the I/G bit of the address at [off] set? Broadcast is a multicast
+    address, so this also covers it. Allocation-free. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -14,4 +14,5 @@ let () =
       ("core", Test_core.suite);
       ("mavlink", Test_mavlink.suite);
       ("faults", Test_faults.suite);
+      ("zero_copy", Test_zero_copy.suite);
     ]

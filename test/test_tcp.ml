@@ -22,7 +22,11 @@ let make_endpoint clock ~ip ~port ~config =
   let ctx =
     {
       Tcp_cb.now = (fun () -> !clock);
-      emit = (fun hdr payload -> Queue.push (hdr, payload) outbox);
+      emit =
+        (fun hdr payload ->
+          (* Materialize ring-backed payloads: queued segments must not
+             alias the send buffer, which keeps moving under them. *)
+          Queue.push (hdr, Tcp_cb.payload_to_bytes payload) outbox);
       on_event = (fun e -> events := e :: !events);
       stat = (fun _ -> ());
     }
@@ -47,7 +51,8 @@ let advance p d = p.clock := Dsim.Time.add !(p.clock) d
 let deliver_one src dst =
   match Queue.pop src.outbox with
   | hdr, payload ->
-    Tcp_input.process dst.cb dst.ctx hdr payload;
+    Tcp_input.process dst.cb dst.ctx hdr ~buf:payload ~off:0
+      ~len:(Bytes.length payload);
     if dst.cb.Tcp_cb.state <> Tcp_cb.Closed then Tcp_output.flush dst.cb dst.ctx
   | exception Queue.Empty -> Alcotest.fail "deliver_one: outbox empty"
 
@@ -316,7 +321,7 @@ let rst_tears_down () =
       options = [];
     }
   in
-  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Tcp_input.process p.a.cb p.a.ctx rst ~buf:Bytes.empty ~off:0 ~len:0;
   Alcotest.check state_t "closed on rst" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
   Alcotest.(check bool) "reset event" true (had_event p.a Tcp_cb.Conn_reset)
 
@@ -333,7 +338,7 @@ let rst_out_of_window_ignored () =
       options = [];
     }
   in
-  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Tcp_input.process p.a.cb p.a.ctx rst ~buf:Bytes.empty ~off:0 ~len:0;
   Alcotest.check state_t "blind rst ignored" Tcp_cb.Established p.a.cb.Tcp_cb.state
 
 let syn_sent_refused () =
@@ -350,7 +355,7 @@ let syn_sent_refused () =
       options = [];
     }
   in
-  Tcp_input.process p.a.cb p.a.ctx rst Bytes.empty;
+  Tcp_input.process p.a.cb p.a.ctx rst ~buf:Bytes.empty ~off:0 ~len:0;
   Alcotest.check state_t "closed" Tcp_cb.Closed p.a.cb.Tcp_cb.state;
   Alcotest.(check bool) "refused event" true (had_event p.a Tcp_cb.Conn_refused)
 
@@ -421,7 +426,7 @@ let wscale_fallback () =
   b.cb.Tcp_cb.remote_port <- 40000;
   Tcp_input.accept_syn b.cb b.ctx syn ~iss:500;
   let synack, _ = Queue.pop b.outbox in
-  Tcp_input.process p.a.cb p.a.ctx synack Bytes.empty;
+  Tcp_input.process p.a.cb p.a.ctx synack ~buf:Bytes.empty ~off:0 ~len:0;
   (* b offered shift 0: windows are still exchanged unscaled and
      correct. *)
   Alcotest.(check int) "shift is zero" 0 p.a.cb.Tcp_cb.snd_wscale;
@@ -454,7 +459,9 @@ let future_segment_dupacked () =
       options = [];
     }
   in
-  Tcp_input.process p.a.cb p.a.ctx hdr (Bytes.of_string "future");
+  let future = Bytes.of_string "future" in
+  Tcp_input.process p.a.cb p.a.ctx hdr ~buf:future ~off:0
+    ~len:(Bytes.length future);
   Tcp_output.flush p.a.cb p.a.ctx;
   Alcotest.(check int) "nothing readable" 0 (Tcp_cb.readable_bytes p.a.cb);
   Alcotest.(check int) "dup ack emitted" 1 (Queue.length p.a.outbox)
@@ -467,7 +474,8 @@ let duplicate_segment_reacked () =
   deliver_one p.a p.b;
   ignore (app_read p.b 16);
   let before = p.b.cb.Tcp_cb.rcv_nxt in
-  Tcp_input.process p.b.cb p.b.ctx hdr payload;
+  Tcp_input.process p.b.cb p.b.ctx hdr ~buf:payload ~off:0
+    ~len:(Bytes.length payload);
   Tcp_output.flush p.b.cb p.b.ctx;
   Alcotest.(check int) "rcv_nxt unchanged" before p.b.cb.Tcp_cb.rcv_nxt;
   Alcotest.(check bool) "re-ack emitted" false (Queue.is_empty p.b.outbox)
@@ -483,7 +491,8 @@ let fin_retransmit_in_time_wait () =
   deliver_one p.b p.a;
   Alcotest.check state_t "a in time_wait" Tcp_cb.Time_wait p.a.cb.Tcp_cb.state;
   drop_one p.a (* the final ACK is lost *);
-  Tcp_input.process p.a.cb p.a.ctx fin_hdr fin_pl;
+  Tcp_input.process p.a.cb p.a.ctx fin_hdr ~buf:fin_pl ~off:0
+    ~len:(Bytes.length fin_pl);
   Tcp_output.flush p.a.cb p.a.ctx;
   Alcotest.(check int) "time_wait re-acks" 1 (Queue.length p.a.outbox);
   Alcotest.check state_t "still time_wait" Tcp_cb.Time_wait p.a.cb.Tcp_cb.state
@@ -534,7 +543,7 @@ let reassembly_out_of_order () =
   let s2 = Queue.pop p.a.outbox in
   let s3 = Queue.pop p.a.outbox in
   let inject (hdr, pl) =
-    Tcp_input.process p.b.cb p.b.ctx hdr pl;
+    Tcp_input.process p.b.cb p.b.ctx hdr ~buf:pl ~off:0 ~len:(Bytes.length pl);
     Tcp_output.flush p.b.cb p.b.ctx
   in
   inject s2;
@@ -576,7 +585,7 @@ let reassembly_duplicate_ooo () =
   let s1 = Queue.pop p.a.outbox in
   let s2 = Queue.pop p.a.outbox in
   let inject (hdr, pl) =
-    Tcp_input.process p.b.cb p.b.ctx hdr pl;
+    Tcp_input.process p.b.cb p.b.ctx hdr ~buf:pl ~off:0 ~len:(Bytes.length pl);
     Tcp_output.flush p.b.cb p.b.ctx
   in
   inject s2;
