@@ -17,11 +17,12 @@ bench:
 wallclock:
 	dune exec bench/main.exe -- wallclock
 
-# Full gate: build, unit/property tests, then three smoke runs —
+# Full gate: build, unit/property tests, then four smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
 # families in the Prometheus dump, Fig. 5 with flow tracing enabled
-# must produce an analyzable trace covering the measurement stages, and
-# the wall-clock bench must keep the ff_write fast path within its
+# must produce an analyzable trace covering the measurement stages,
+# the seeded chaos run must attribute or recover every injected fault,
+# and the wall-clock bench must keep the ff_write fast path within its
 # minor-allocation budget (the zero-copy regression gate).
 check:
 	dune build
@@ -43,6 +44,15 @@ check:
 	    || { echo "check: stage $$s missing from flow-trace analysis"; exit 1; }; \
 	  echo "check: stage $$s present"; \
 	done
+	dune exec bin/netrepro.exe -- chaos --seed 42 --quick \
+	  > /tmp/netrepro-check.chaos.txt \
+	  || { cat /tmp/netrepro-check.chaos.txt; \
+	       echo "check: chaos run failed"; exit 1; }
+	@grep -q "fault attribution: 100.0%" /tmp/netrepro-check.chaos.txt \
+	  || { echo "check: chaos attribution below 100%"; exit 1; }
+	@grep -q "unrecovered faults: 0" /tmp/netrepro-check.chaos.txt \
+	  || { echo "check: chaos left unrecovered faults"; exit 1; }
+	@echo "check: chaos attribution 100%, no unrecovered faults"
 	dune exec bench/main.exe -- wallclock quick
 	@echo "check: OK"
 

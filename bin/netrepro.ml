@@ -141,6 +141,15 @@ let run_attacks () =
     (Core.Attack.run_all ());
   0
 
+let run_chaos seed quick =
+  let profile =
+    if quick then Core.Chaos_experiment.quick else Core.Chaos_experiment.full
+  in
+  let report = Core.Chaos_experiment.run ~profile ~seed () in
+  print_string report.Core.Chaos_experiment.text;
+  flush stdout;
+  if report.Core.Chaos_experiment.pass then 0 else 1
+
 open Cmdliner
 
 let quick_flag =
@@ -231,6 +240,22 @@ let attack_cmd =
   let doc = "run the Fig. 3 compartmentalization attacks" in
   Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attacks $ const ())
 
+let chaos_seed_opt =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Chaos RNG seed. Two runs with the same seed and profile produce \
+           byte-identical reports.")
+
+let chaos_cmd =
+  let doc =
+    "deterministic fault injection: run the scenarios under seeded chaos and \
+     print the blast-radius report (exit 1 unless every fault is recovered \
+     or attributed and sibling goodput holds)"
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run_chaos $ chaos_seed_opt $ quick_flag)
+
 let analyze_file_arg =
   Arg.(
     required
@@ -275,4 +300,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          ([ run_cmd; list_cmd; attack_cmd; analyze_cmd ] @ experiment_cmds)))
+          ([ run_cmd; list_cmd; attack_cmd; chaos_cmd; analyze_cmd ]
+          @ experiment_cmds)))

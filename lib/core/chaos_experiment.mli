@@ -1,0 +1,67 @@
+(** Blast-radius experiment: the paper's scenarios under deterministic
+    fault injection.
+
+    Two phases, each paired with an undisturbed twin run (same topology
+    seeds, chaos idle) that provides the goodput reference:
+
+    - {b Phase A} — Scenario 1 dual-port. Port 0 (cVM1) is the victim:
+      its wire takes seeded bit flips / drops / dups / reorders, a link
+      flap, an mbuf-pool-exhaustion window and RX DMA-descriptor
+      errors, and the cVM itself takes injected capability faults under
+      the supervisor's restart policy. Port 1 (cVM2) is the untouched
+      sibling control.
+    - {b Phase B} — Scenario 2 contended. cVM3 takes capability faults
+      while holding the shared F-Stack mutex (restart budget 1, so the
+      second fault permanently quarantines it) plus transient-EINTR
+      syscall failures through the Musl shim; cVM2 is the sibling whose
+      goodput must survive.
+
+    Every injected fault is tracked in a {!Dsim.Chaos} ledger and must
+    end the run [Recovered] (TTR recorded) or [Attributed] (to a typed
+    {!Dsim.Flowtrace} drop, a hardware counter, or a supervisor
+    verdict). The report fails on any pending entry, on attribution
+    below 100%, or on sibling goodput (outside the victim's quarantine
+    windows) below 90% of the undisturbed twin.
+
+    All randomness comes from the one seed; two runs with the same seed
+    and profile produce byte-identical reports. *)
+
+type profile = {
+  warmup : Dsim.Time.t;
+  duration : Dsim.Time.t;  (** Measured (and injected-into) window. *)
+  sample_every : Dsim.Time.t;  (** Goodput sample period. *)
+  flap_down : Dsim.Time.t;  (** Link-flap outage length. *)
+  mbuf_window : Dsim.Time.t;  (** Pool-exhaustion window length. *)
+  eintr_every : Dsim.Time.t;  (** Victim libc heartbeat period. *)
+}
+
+val quick : profile
+(** CI-sized: ~30 ms virtual measurement windows. *)
+
+val full : profile
+
+type phase = {
+  ph_title : string;
+  ph_victim : string;
+  ph_sibling : string;
+  ph_drops : ((Dsim.Flowtrace.stage * Dsim.Flowtrace.reason) * int) list;
+      (** The phase's typed drop table (attribution evidence). *)
+  ph_sibling_rate : float;  (** Gbit/s outside quarantine windows. *)
+  ph_sibling_ref : float;  (** Undisturbed twin, same windows. *)
+  ph_victim_rate : float;
+  ph_victim_ref : float;
+}
+
+type report = {
+  seed : int64;
+  injected : int;
+  recovered : int;
+  attributed : int;
+  pending : int;  (** Must be 0 for [pass]. *)
+  counts : (Dsim.Chaos.kind * Dsim.Chaos.tally) list;
+  phases : phase list;
+  pass : bool;
+  text : string;  (** Deterministic rendering of everything above. *)
+}
+
+val run : ?profile:profile -> seed:int64 -> unit -> report

@@ -131,6 +131,11 @@ let server_take_rx s =
 let server_connections s = List.length s.s_conns
 let server_port s = s.s_port
 
+let server_stop s =
+  List.iter (fun fd -> server_drop_conn s fd) s.s_conns;
+  ignore (s.s_api.close s.s_lfd);
+  ignore (s.s_api.close s.s_epfd)
+
 (* ------------------------------------------------------------------ *)
 (* Client                                                               *)
 (* ------------------------------------------------------------------ *)

@@ -53,6 +53,11 @@ val server_take_rx : server -> int
 val server_connections : server -> int
 val server_port : server -> int
 
+val server_stop : server -> unit
+(** Close every accepted connection, the listener and the epoll
+    instance — the teardown a supervisor runs when the hosting cVM
+    dies. Safe to call once per server. *)
+
 (** {1 Client (sender)} *)
 
 type client

@@ -8,6 +8,9 @@ type built = {
   peer : Topology.node;
   flows : flow list;
   mutex : Capvm.Umtx.t option;
+  links : Nic.Link.t list;
+  dut_netifs : Topology.netif list;
+  app_cvms : Capvm.Cvm.t list;
   stop : unit -> unit;
 }
 
@@ -31,25 +34,81 @@ let app_buf cvm mem = Capvm.Cvm.calloc cvm mem app_buffer_size
 
 let seed_plus seed i = Int64.add seed (Int64.of_int i)
 
+(* Supervised replacement for [Stack.start]: the same loop, but every
+   iteration enters the cVM through the supervisor's trap boundary, so a
+   capability fault raised anywhere inside it (frame processing, TCP
+   machinery, the application hook) quarantines that cVM while the rest
+   of the topology keeps running. While the cVM is down the driver polls
+   its state; it resumes looping on recovery and dies with the cVM.
+   Uses a constant gap (no idle backoff): supervised runs are the chaos
+   runs, where calibrated idle behaviour is not at stake. *)
+let supervised_stack_loop sup ~cvm ~running stack =
+  let engine = Netstack.Stack.engine stack in
+  let gap = (Netstack.Stack.config stack).Netstack.Stack.loop_gap in
+  let down_poll = Dsim.Time.us 20 in
+  Capvm.Supervisor.register sup cvm;
+  let rec iter () =
+    if !running then
+      match Capvm.Supervisor.state sup ~cvm with
+      | Capvm.Supervisor.Dead -> ()
+      | Capvm.Supervisor.Running -> (
+        match
+          Capvm.Supervisor.run sup ~cvm (fun () ->
+              Netstack.Stack.loop_once stack)
+        with
+        | Capvm.Supervisor.Done work_ns ->
+          ignore
+            (Dsim.Engine.schedule engine
+               ~delay:(Dsim.Time.add (Dsim.Time.of_float_ns work_ns) gap)
+               iter)
+        | Capvm.Supervisor.Faulted _ | Capvm.Supervisor.Refused _ ->
+          ignore (Dsim.Engine.schedule engine ~delay:down_poll iter))
+      | _ -> ignore (Dsim.Engine.schedule engine ~delay:down_poll iter)
+  in
+  iter ()
+
 (* --------------------------------------------------------------- *)
 (* Dual-port: Baseline (two processes) and Scenario 1               *)
 (* --------------------------------------------------------------- *)
 
-let build_dual_port ?(cheri = true) ?(seed = 42L) ~direction () =
+let build_dual_port ?(cheri = true) ?(seed = 42L) ?supervise ?app_hook
+    ~direction () =
   (* The bandwidth data path is identical with and without CHERI — the
      paper's Table II shows exactly that (Baseline and Scenario 1 rows
      match) — so [cheri] only affects the latency harness, not this
      topology. *)
   ignore cheri;
   let engine = Dsim.Engine.create () in
+  let supervise = Option.map (fun f -> f engine) supervise in
   let dut = Topology.make_node engine ~name:"morello" ~ports:2 () in
   let peer =
     Topology.make_node engine ~name:"loadgen" ~generous_pci:true ~ports:2 ()
   in
+  let running = ref true in
   let flows = ref [] and stoppers = ref [] in
+  let links = ref [] and netifs = ref [] and cvms = ref [] in
+  (* Identical to [Stack.start ~hook] when unsupervised; otherwise every
+     iteration of this cVM's loop runs under the trap boundary, and the
+     chaos hook gets a point inside the compartment to raise faults
+     from. *)
+  let start_dut_stack cvm nif hook =
+    let hook =
+      match app_hook with
+      | None -> hook
+      | Some inject ->
+        fun s ->
+          inject cvm;
+          hook s
+    in
+    match supervise with
+    | None -> Netstack.Stack.start ~hook nif.Topology.stack
+    | Some sup ->
+      Netstack.Stack.set_hook nif.Topology.stack (Some hook);
+      supervised_stack_loop sup ~cvm ~running nif.Topology.stack
+  in
   List.iter
     (fun i ->
-      ignore (Topology.link engine dut i peer i);
+      links := Topology.link engine dut i peer i :: !links;
       let subnet = i in
       let tune s cfg = { cfg with Netstack.Stack.rng_seed = seed_plus seed s } in
       let dcvm, dnif =
@@ -69,6 +128,8 @@ let build_dual_port ?(cheri = true) ?(seed = 42L) ~direction () =
       let dut_api = Iperf.api_of_ff dnif.Topology.ff in
       let peer_api = Iperf.api_of_ff pnif.Topology.ff in
       let label = Printf.sprintf "cVM%d" (i + 1) in
+      netifs := dnif :: !netifs;
+      cvms := dcvm :: !cvms;
       (match direction with
       | Dut_receives ->
         let srv = Iperf.server dut_api ~buf:dut_buf ~port:iperf_port in
@@ -76,9 +137,7 @@ let build_dual_port ?(cheri = true) ?(seed = 42L) ~direction () =
           Iperf.client peer_api ~buf:peer_buf ~server_ip:(ip_dut subnet)
             ~port:iperf_port ()
         in
-        Netstack.Stack.start
-          ~hook:(fun _ -> Iperf.server_step srv)
-          dnif.Topology.stack;
+        start_dut_stack dcvm dnif (fun _ -> Iperf.server_step srv);
         Netstack.Stack.start
           ~hook:(fun _ -> Iperf.client_step cli)
           pnif.Topology.stack;
@@ -90,9 +149,7 @@ let build_dual_port ?(cheri = true) ?(seed = 42L) ~direction () =
           Iperf.client dut_api ~buf:dut_buf ~server_ip:(ip_peer subnet)
             ~port:iperf_port ()
         in
-        Netstack.Stack.start
-          ~hook:(fun _ -> Iperf.client_step cli)
-          dnif.Topology.stack;
+        start_dut_stack dcvm dnif (fun _ -> Iperf.client_step cli);
         Netstack.Stack.start
           ~hook:(fun _ -> Iperf.server_step srv)
           pnif.Topology.stack;
@@ -110,7 +167,13 @@ let build_dual_port ?(cheri = true) ?(seed = 42L) ~direction () =
     peer;
     flows = List.rev !flows;
     mutex = None;
-    stop = (fun () -> List.iter (fun f -> f ()) !stoppers);
+    links = List.rev !links;
+    dut_netifs = List.rev !netifs;
+    app_cvms = List.rev !cvms;
+    stop =
+      (fun () ->
+        running := false;
+        List.iter (fun f -> f ()) !stoppers);
   }
 
 (* --------------------------------------------------------------- *)
@@ -125,6 +188,7 @@ type single_port = {
   sp_dnif : Topology.netif;
   sp_pnif : Topology.netif;
   sp_peer_cvm : Capvm.Cvm.t;
+  sp_link : Nic.Link.t;
 }
 
 let single_port_base ~seed =
@@ -133,7 +197,7 @@ let single_port_base ~seed =
   let peer =
     Topology.make_node engine ~name:"loadgen" ~generous_pci:true ~ports:2 ()
   in
-  ignore (Topology.link engine dut 0 peer 0);
+  let link = Topology.link engine dut 0 peer 0 in
   let tune s cfg = { cfg with Netstack.Stack.rng_seed = seed_plus seed s } in
   let stack_cvm, dnif =
     cvm_netif dut ~name:"cVM1" ~port_idx:0 ~ip:(ip_dut 0)
@@ -151,6 +215,7 @@ let single_port_base ~seed =
     sp_dnif = dnif;
     sp_pnif = pnif;
     sp_peer_cvm = peer_cvm;
+    sp_link = link;
   }
 
 (* The peer side of [n] flows: servers when the DUT sends, clients when
@@ -176,7 +241,8 @@ let peer_apps sp ~direction ~n =
     ~hook:(fun _ -> List.iter (fun step -> step ()) steps)
     sp.sp_pnif.Topology.stack
 
-(* A DUT-side app for flow [i]; returns (step, take_bytes).
+(* A DUT-side app for flow [i]; returns (step, take_bytes, stop) —
+   [stop] is the teardown a supervisor runs if the hosting cVM dies.
 
    [throttled] models the contended client-mode unfairness of Table II:
    the paper attributes the cVM2/cVM3 imbalance to the absence of any
@@ -189,7 +255,9 @@ let dut_app sp ~direction ~flow_idx ~app_cvm ?(throttled = false) () =
   match direction with
   | Dut_receives ->
     let srv = Iperf.server api ~buf ~port:(iperf_port + flow_idx) in
-    ((fun () -> Iperf.server_step srv), fun () -> Iperf.server_take_rx srv)
+    ( (fun () -> Iperf.server_step srv),
+      (fun () -> Iperf.server_take_rx srv),
+      fun () -> Iperf.server_stop srv )
   | Dut_sends ->
     let write_size = if throttled then 8192 else app_buffer_size in
     let max_writes_per_step = if throttled then 1 else 16 in
@@ -197,7 +265,9 @@ let dut_app sp ~direction ~flow_idx ~app_cvm ?(throttled = false) () =
       Iperf.client api ~buf ~server_ip:(ip_peer 0) ~port:(iperf_port + flow_idx)
         ~write_size ~max_writes_per_step ()
     in
-    ((fun () -> Iperf.client_step cli), fun () -> Iperf.client_take_tx cli)
+    ( (fun () -> Iperf.client_step cli),
+      (fun () -> Iperf.client_take_tx cli),
+      fun () -> Iperf.client_stop cli )
 
 let build_single_baseline ?(seed = 43L) ~direction () =
   let sp = single_port_base ~seed in
@@ -207,7 +277,7 @@ let build_single_baseline ?(seed = 43L) ~direction () =
       (Topology.intravisor sp.sp_dut)
       ~name:"proc" ~size:cvm_size
   in
-  let step, take = dut_app sp ~direction ~flow_idx:0 ~app_cvm () in
+  let step, take, _stop = dut_app sp ~direction ~flow_idx:0 ~app_cvm () in
   Netstack.Stack.start ~hook:(fun _ -> step ()) sp.sp_dnif.Topology.stack;
   peer_apps sp ~direction ~n:1;
   {
@@ -216,6 +286,9 @@ let build_single_baseline ?(seed = 43L) ~direction () =
     peer = sp.sp_peer;
     flows = [ { label = "Baseline (cVM2)"; take_bytes = take } ];
     mutex = None;
+    links = [ sp.sp_link ];
+    dut_netifs = [ sp.sp_dnif ];
+    app_cvms = [ app_cvm ];
     stop =
       (fun () ->
         Netstack.Stack.stop sp.sp_dnif.Topology.stack;
@@ -288,11 +361,95 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
   in
   iter ()
 
+(* Supervised variant of [s2_app_driver]. Differences: the app object is
+   rebuilt on restart (its connection died with the cVM), every entry
+   that runs compartment code goes through the supervisor's trap
+   boundary, and containment force-releases the shared mutex — the
+   Scenario 2 hazard is precisely a dead app cVM leaving the F-Stack
+   mutex held, deadlocking cVM1's main loop and every sibling. *)
+let s2_app_driver_supervised sp mu sup ~running ~app_cvm ~interval ~extra_tramp
+    ~app_hook make_app =
+  let engine = sp.sp_engine in
+  let iv = Topology.intravisor sp.sp_dut in
+  let cost = Topology.node_cost sp.sp_dut in
+  let stack_counters = Netstack.Stack.counters sp.sp_dnif.Topology.stack in
+  let per_seg =
+    (Netstack.Stack.config sp.sp_dnif.Topology.stack).Netstack.Stack.per_packet_ns
+  in
+  let app_base_ns = 800. in
+  let name = Capvm.Cvm.name app_cvm in
+  let cur = ref (make_app ()) in
+  let iter_ref = ref (fun () -> ()) in
+  let resched () =
+    ignore
+      (Dsim.Engine.schedule engine ~delay:interval (fun () -> !iter_ref ()))
+  in
+  Capvm.Supervisor.register sup app_cvm;
+  Capvm.Supervisor.add_cleanup sup ~cvm:app_cvm (fun () ->
+      ignore (Capvm.Umtx.force_release mu ~owner:name);
+      let _, _, stop = !cur in
+      stop ());
+  Capvm.Supervisor.set_restart sup ~cvm:app_cvm (fun () ->
+      cur := make_app ();
+      resched ());
+  (* Runs with the mutex held, inside the trap boundary; a fault here
+     (e.g. injected by [app_hook]) is the held-mutex crash scenario. *)
+  let body flow =
+    (match app_hook with Some inject -> inject app_cvm | None -> ());
+    let step, _, _ = !cur in
+    let tx0 = stack_counters.Netstack.Stack.tx_frames in
+    let (), tramp_ns =
+      Capvm.Intravisor.trampoline iv ~flow ~into:sp.sp_stack_cvm step
+    in
+    let tx_delta = stack_counters.Netstack.Stack.tx_frames - tx0 in
+    let work_ns =
+      tramp_ns
+      +. (float_of_int extra_tramp *. Capvm.Intravisor.trampoline_cost_ns iv)
+      +. cost.Dsim.Cost_model.mutex_uncontended_ns
+      +. app_base_ns
+      +. (per_seg *. float_of_int tx_delta)
+    in
+    ignore
+      (Dsim.Engine.schedule engine
+         ~delay:(Dsim.Time.of_float_ns work_ns)
+         (fun () ->
+           Capvm.Umtx.release mu;
+           Dsim.Flowtrace.hop flow Tramp_out ~at:(Dsim.Engine.now engine);
+           resched ()))
+  in
+  let iter () =
+    if !running then
+      match Capvm.Supervisor.state sup ~cvm:app_cvm with
+      | Capvm.Supervisor.Dead -> ()
+      | Capvm.Supervisor.Running ->
+        let flow =
+          Dsim.Flowtrace.origin Dsim.Flowtrace.default
+            ~at:(Dsim.Engine.now engine) ~flow:name App
+        in
+        Capvm.Umtx.acquire mu ~flow ~owner:name (fun ~wait_ns:_ ->
+            match
+              Capvm.Supervisor.run sup ~cvm:app_cvm (fun () -> body flow)
+            with
+            | Capvm.Supervisor.Done () -> ()
+            | Capvm.Supervisor.Faulted _ ->
+              (* Containment force-released the mutex; the restart (if
+                 any) re-arms the loop. *)
+              ()
+            | Capvm.Supervisor.Refused _ ->
+              (* A wake already in flight when the cVM trapped; the
+                 cleanup broke the hold, nothing runs. *)
+              ())
+      | _ -> resched ()
+  in
+  iter_ref := iter;
+  iter ()
+
 let build_s2_like ?(seed = 44L) ?(contended = false)
     ?(lock_policy = Capvm.Umtx.Barging) ?(app_interval = Dsim.Time.us 2)
-    ~extra_tramp ~direction () =
+    ?supervise ?app_hook ~extra_tramp ~direction () =
   let sp = single_port_base ~seed in
   let engine = sp.sp_engine in
+  let supervise = Option.map (fun f -> f engine) supervise in
   let cost = Topology.node_cost sp.sp_dut in
   let mu =
     Capvm.Umtx.create engine ~policy:lock_policy
@@ -301,6 +458,7 @@ let build_s2_like ?(seed = 44L) ?(contended = false)
   in
   let running = ref true in
   let napps = if contended then 2 else 1 in
+  let cvms = ref [] in
   let flows =
     List.init napps (fun i ->
         let app_cvm =
@@ -309,13 +467,33 @@ let build_s2_like ?(seed = 44L) ?(contended = false)
             ~name:(Printf.sprintf "cVM%d" (i + 2))
             ~size:cvm_size
         in
+        cvms := app_cvm :: !cvms;
         let throttled = contended && i = 1 && direction = Dut_sends in
-        let step, take = dut_app sp ~direction ~flow_idx:i ~app_cvm ~throttled () in
         let interval =
           if throttled then Dsim.Time.mul app_interval 33 else app_interval
         in
-        s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step;
-        { label = Printf.sprintf "cVM%d" (i + 2); take_bytes = take })
+        let label = Printf.sprintf "cVM%d" (i + 2) in
+        match supervise with
+        | None ->
+          let step, take, _stop =
+            dut_app sp ~direction ~flow_idx:i ~app_cvm ~throttled ()
+          in
+          s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step;
+          { label; take_bytes = take }
+        | Some sup ->
+          (* The app is rebuilt on restart; route take_bytes through the
+             current incarnation. *)
+          let cur_take = ref (fun () -> 0) in
+          let make_app () =
+            let ((_, take, _) as app) =
+              dut_app sp ~direction ~flow_idx:i ~app_cvm ~throttled ()
+            in
+            cur_take := take;
+            app
+          in
+          s2_app_driver_supervised sp mu sup ~running ~app_cvm ~interval
+            ~extra_tramp ~app_hook make_app;
+          { label; take_bytes = (fun () -> !cur_take ()) })
   in
   s2_stack_driver sp mu ~running;
   peer_apps sp ~direction ~n:napps;
@@ -325,15 +503,19 @@ let build_s2_like ?(seed = 44L) ?(contended = false)
     peer = sp.sp_peer;
     flows;
     mutex = Some mu;
+    links = [ sp.sp_link ];
+    dut_netifs = [ sp.sp_dnif ];
+    app_cvms = List.rev !cvms;
     stop =
       (fun () ->
         running := false;
         Netstack.Stack.stop sp.sp_pnif.Topology.stack);
   }
 
-let build_scenario2 ?seed ?contended ?lock_policy ?app_interval ~direction () =
-  build_s2_like ?seed ?contended ?lock_policy ?app_interval ~extra_tramp:0
-    ~direction ()
+let build_scenario2 ?seed ?contended ?lock_policy ?app_interval ?supervise
+    ?app_hook ~direction () =
+  build_s2_like ?seed ?contended ?lock_policy ?app_interval ?supervise
+    ?app_hook ~extra_tramp:0 ~direction ()
 
 let build_scenario3_split ?seed ~direction () =
   build_s2_like ?seed ~contended:false ~extra_tramp:2 ~direction ()
@@ -383,7 +565,9 @@ let build_measurement ?(seed = 45L) ~mode () =
           (Topology.intravisor sp.sp_dut)
           ~name:"cVM3" ~size:cvm_size
       in
-      let step, _take = dut_app sp ~direction:Dut_sends ~flow_idx:1 ~app_cvm:bg_cvm () in
+      let step, _take, _stop =
+        dut_app sp ~direction:Dut_sends ~flow_idx:1 ~app_cvm:bg_cvm ()
+      in
       s2_app_driver sp mu ~running ~app_cvm:bg_cvm ~interval:(Dsim.Time.us 2)
         ~extra_tramp:0 step;
       peer_apps sp ~direction:Dut_sends ~n:2
@@ -397,6 +581,9 @@ let build_measurement ?(seed = 45L) ~mode () =
         peer = sp.sp_peer;
         flows = [];
         mutex = !mu_ref;
+        links = [ sp.sp_link ];
+        dut_netifs = [ sp.sp_dnif ];
+        app_cvms = [ app_cvm ];
         stop =
           (fun () ->
             running := false;
@@ -479,6 +666,9 @@ let build_udp_blast ?(seed = 47L) ?(payload = 1472) ~offered_mbit () =
       [ { label = "offered"; take_bytes = take offered offered_mark };
         { label = "received"; take_bytes = take received received_mark } ];
     mutex = None;
+    links = [ sp.sp_link ];
+    dut_netifs = [ sp.sp_dnif ];
+    app_cvms = [];
     stop =
       (fun () ->
         running := false;

@@ -32,6 +32,13 @@ type built = {
   peer : Topology.node;
   flows : flow list;
   mutex : Capvm.Umtx.t option;  (** The Scenario 2 mutex, if any. *)
+  links : Nic.Link.t list;
+      (** The DUT-peer wires, in flow order — the chaos engine's tamper
+          and flap handles. *)
+  dut_netifs : Topology.netif list;
+      (** DUT-side interfaces in flow order (mbuf pools, devices). *)
+  app_cvms : Capvm.Cvm.t list;
+      (** DUT-side cVMs a chaos experiment may target, in flow order. *)
   stop : unit -> unit;
 }
 
@@ -39,10 +46,24 @@ val app_buffer_size : int
 (** iperf's default 128 KiB write/read chunk. *)
 
 val build_dual_port :
-  ?cheri:bool -> ?seed:int64 -> direction:direction -> unit -> built
+  ?cheri:bool ->
+  ?seed:int64 ->
+  ?supervise:(Dsim.Engine.t -> Capvm.Supervisor.t) ->
+  ?app_hook:(Capvm.Cvm.t -> unit) ->
+  direction:direction ->
+  unit ->
+  built
 (** Baseline-two-processes ([cheri:false]) or Scenario 1
     ([cheri:true], default): one full stack per port, both ports busy.
-    Flows: "cVM1" (port 0) and "cVM2" (port 1). *)
+    Flows: "cVM1" (port 0) and "cVM2" (port 1).
+
+    [supervise] is called with the topology's engine (so supervisor
+    restarts run on the run's clock) and places each DUT cVM's loop
+    under the returned supervisor's trap boundary (behaviour without it
+    is bit-identical to before);
+    [app_hook] runs inside the compartment at the top of each
+    iteration's application step — the chaos engine's fault-injection
+    point. *)
 
 val build_single_baseline : ?seed:int64 -> direction:direction -> unit -> built
 (** Single process, single port (the Baseline row of the Scenario 2
@@ -53,12 +74,20 @@ val build_scenario2 :
   ?contended:bool ->
   ?lock_policy:Capvm.Umtx.policy ->
   ?app_interval:Dsim.Time.t ->
+  ?supervise:(Dsim.Engine.t -> Capvm.Supervisor.t) ->
+  ?app_hook:(Capvm.Cvm.t -> unit) ->
   direction:direction ->
   unit ->
   built
 (** cVM1 = F-Stack+DPDK (mutex-guarded loop); cVM2 (+cVM3 when
     [contended]) = iperf apps whose every step trampolines into cVM1
-    under the mutex. Flows: "cVM2" (and "cVM3"). *)
+    under the mutex. Flows: "cVM2" (and "cVM3").
+
+    [supervise] wraps each app cVM's steps in the supervisor's trap
+    boundary: on a capability fault the shared mutex is force-released,
+    the app torn down, and (policy permitting) rebuilt on restart.
+    [app_hook] runs with the mutex held, inside the boundary — faulting
+    there reproduces the held-mutex crash hazard of Scenario 2. *)
 
 val build_scenario3_split :
   ?seed:int64 -> direction:direction -> unit -> built

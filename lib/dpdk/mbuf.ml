@@ -3,7 +3,9 @@ type pool = {
   mem : Cheri.Tagged_memory.t;
   free_list : t Queue.t;
   capacity : int;
+  mutable alloc_failures : int;
   in_use_metric : Dsim.Metrics.gauge;
+  alloc_fail_metric : Dsim.Metrics.counter;
 }
 
 and t = {
@@ -29,10 +31,15 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
       mem;
       free_list = Queue.create ();
       capacity = n;
+      alloc_failures = 0;
       in_use_metric =
         Dsim.Metrics.gauge Dsim.Metrics.default
           ~help:"Mbufs currently allocated from the pool."
           ~labels:[ ("pool", name) ] "dpdk_mbuf_in_use";
+      alloc_fail_metric =
+        Dsim.Metrics.counter Dsim.Metrics.default
+          ~help:"Allocation attempts refused because the pool was empty."
+          ~labels:[ ("pool", name) ] "dpdk_mbuf_alloc_failures_total";
     }
   in
   for i = 0 to n - 1 do
@@ -60,6 +67,7 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
 let pool_name p = p.name
 let available p = Queue.length p.free_list
 let capacity p = p.capacity
+let alloc_failures p = p.alloc_failures
 
 let reset m =
   m.data_off <- m.default_headroom;
@@ -70,7 +78,13 @@ let flow m = m.flow
 let set_flow m f = m.flow <- f
 
 let alloc p =
-  if Queue.is_empty p.free_list then None
+  if Queue.is_empty p.free_list then begin
+    (* Exhaustion is a counted, recoverable condition — callers turn the
+       [None] into a typed drop, never an exception. *)
+    p.alloc_failures <- p.alloc_failures + 1;
+    Dsim.Metrics.incr p.alloc_fail_metric;
+    None
+  end
   else begin
     let m = Queue.pop p.free_list in
     m.in_use <- true;
@@ -81,8 +95,11 @@ let alloc p =
 
 let free m =
   if not m.in_use then
-    invalid_arg
-      (Printf.sprintf "Mbuf.free: double free of buffer 0x%x" m.buf_addr);
+    (* A second free is a use of a revoked reference: raise it as the
+       tag violation it models so the supervisor can contain it to the
+       offending compartment instead of unwinding the whole simulation. *)
+    Cheri.Fault.raise_fault Cheri.Fault.Tag_violation ~address:m.buf_addr
+      ~detail:"Mbuf.free: double free";
   m.in_use <- false;
   (* Drop the trace context now, not at the next alloc: a free pool
      buffer must not pin trace records live across reuse. *)

@@ -22,12 +22,21 @@ val pool_name : pool -> string
 val available : pool -> int
 val capacity : pool -> int
 
+val alloc_failures : pool -> int
+(** Allocation attempts refused because the pool was empty (also the
+    [dpdk_mbuf_alloc_failures_total] metric). *)
+
 val alloc : pool -> t option
 (** [None] when the pool is exhausted (the poll loops treat this as
-    back-pressure). Data offset starts at the headroom, length 0. *)
+    back-pressure, counted — never an exception). Data offset starts at
+    the headroom, length 0. *)
 
 val free : t -> unit
-(** Return to the owning pool. @raise Invalid_argument on double free. *)
+(** Return to the owning pool.
+    @raise Cheri.Fault.Capability_fault (tag violation) on double free —
+    a second free is a use of a revoked reference, and raising it as a
+    capability fault lets the supervisor contain it to the offending
+    compartment. *)
 
 (** {1 Geometry} *)
 

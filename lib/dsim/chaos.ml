@@ -1,0 +1,300 @@
+type kind =
+  | Wire_bit_flip
+  | Dma_bit_flip
+  | Frame_drop
+  | Frame_dup
+  | Frame_reorder
+  | Link_flap
+  | Mbuf_exhaust
+  | Dma_desc_error
+  | Syscall_eintr
+  | Cap_fault
+
+let all_kinds =
+  [
+    Wire_bit_flip; Dma_bit_flip; Frame_drop; Frame_dup; Frame_reorder;
+    Link_flap; Mbuf_exhaust; Dma_desc_error; Syscall_eintr; Cap_fault;
+  ]
+
+let kind_name = function
+  | Wire_bit_flip -> "wire_bit_flip"
+  | Dma_bit_flip -> "dma_bit_flip"
+  | Frame_drop -> "frame_drop"
+  | Frame_dup -> "frame_dup"
+  | Frame_reorder -> "frame_reorder"
+  | Link_flap -> "link_flap"
+  | Mbuf_exhaust -> "mbuf_exhaust"
+  | Dma_desc_error -> "dma_desc_error"
+  | Syscall_eintr -> "syscall_eintr"
+  | Cap_fault -> "cap_fault"
+
+type frame_action =
+  | Pass
+  | Flip of { byte : int; bit : int; post_fcs : bool }
+  | Drop_frame
+  | Dup_frame
+  | Hold_frame of { extra_ns : float }
+
+type outcome =
+  | Pending
+  | Recovered of { ttr_ns : float }
+  | Attributed of { stage : string; reason : string }
+
+let outcome_label = function
+  | Pending -> "PENDING"
+  | Recovered { ttr_ns } -> Printf.sprintf "recovered (ttr=%.0fns)" ttr_ns
+  | Attributed { stage; reason } ->
+    Printf.sprintf "attributed (%s/%s)" stage reason
+
+type injection = {
+  id : int;
+  kind : kind;
+  at_ns : float;
+  target : string;
+  mutable outcome : outcome;
+}
+
+type rates = {
+  wire_flip : float;
+  dma_flip : float;
+  drop : float;
+  dup : float;
+  reorder : float;
+}
+
+let zero_rates =
+  { wire_flip = 0.; dma_flip = 0.; drop = 0.; dup = 0.; reorder = 0. }
+
+type t = {
+  seed : int64;
+  rng : Rng.t;
+  mutable rates : rates;
+  mutable armed : bool;
+  mutable next_id : int;
+  mutable inj_rev : injection list;
+  by_id : (int, injection) Hashtbl.t;
+  ttr_metric : kind -> Metrics.histogram;
+}
+
+let create ~seed =
+  let ttr_metric kind =
+    Metrics.histogram Metrics.default
+      ~help:"Time from fault injection to recovered service, in nanoseconds."
+      ~labels:[ ("kind", kind_name kind) ]
+      ~lo:1_000. ~ratio:2. ~buckets:28 "chaos_ttr_ns"
+  in
+  (* Pre-register every kind: a run that recovers nothing still exposes
+     the zero-valued series (same discipline as Cheri.Fault). *)
+  List.iter (fun k -> ignore (ttr_metric k)) all_kinds;
+  {
+    seed;
+    rng = Rng.create ~seed;
+    rates = zero_rates;
+    armed = false;
+    next_id = 1;
+    inj_rev = [];
+    by_id = Hashtbl.create 64;
+    ttr_metric;
+  }
+
+let seed t = t.seed
+let set_rates t r = t.rates <- r
+let rates t = t.rates
+let set_armed t b = t.armed <- b
+let armed t = t.armed
+
+let inject t kind ~at_ns ~target =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let inj = { id; kind; at_ns; target; outcome = Pending } in
+  t.inj_rev <- inj :: t.inj_rev;
+  Hashtbl.replace t.by_id id inj;
+  id
+
+let find_exn t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some inj -> inj
+  | None -> invalid_arg (Printf.sprintf "Chaos: unknown injection id %d" id)
+
+let resolve_recovered t id ~ttr_ns =
+  let inj = find_exn t id in
+  if inj.outcome = Pending then begin
+    inj.outcome <- Recovered { ttr_ns };
+    Metrics.observe (t.ttr_metric inj.kind) ttr_ns
+  end
+
+let resolve_attributed t id ~stage ~reason =
+  let inj = find_exn t id in
+  if inj.outcome = Pending then inj.outcome <- Attributed { stage; reason }
+
+(* Generic Bernoulli draw for non-frame opportunities (EINTR etc.). *)
+let draw t ~p = p > 0. && Rng.float t.rng 1.0 < p
+let uniform_ns t ~lo ~hi = lo +. Rng.float t.rng (Float.max 0. (hi -. lo))
+
+(* Per-frame fault lottery, consulted by the link at delivery time.  One
+   uniform draw decides among the enabled mechanisms (cumulative
+   thresholds), so the schedule is a pure function of the seed and the
+   frame sequence.  DMA flips (which must survive the FCS and be caught
+   by the IP/TCP/UDP checksums instead) are only aimed at IPv4 payload
+   bytes past the IP version/IHL octet — corrupting the Ethernet header
+   or an ARP packet (no transport checksum) is the wire-flip case, where
+   the FCS is the detector. *)
+let dma_flip_min_off = 15
+
+let frame_opportunity t ~at_ns ~ipv4 ~len ~target =
+  let r = t.rates in
+  if
+    (not t.armed) || len <= 0
+    || r.drop +. r.dup +. r.reorder +. r.wire_flip +. r.dma_flip <= 0.
+  then Pass
+  else begin
+    let u = Rng.float t.rng 1.0 in
+    let c1 = r.drop in
+    let c2 = c1 +. r.dup in
+    let c3 = c2 +. r.reorder in
+    let c4 = c3 +. r.wire_flip in
+    let c5 = c4 +. r.dma_flip in
+    if u < c1 then begin
+      let id = inject t Frame_drop ~at_ns ~target in
+      (* The link drops it on the spot and records the typed drop; the
+         attribution is by construction. *)
+      resolve_attributed t id ~stage:"wire" ~reason:"chaos_injected";
+      Drop_frame
+    end
+    else if u < c2 then begin
+      ignore (inject t Frame_dup ~at_ns ~target);
+      Dup_frame
+    end
+    else if u < c3 then begin
+      ignore (inject t Frame_reorder ~at_ns ~target);
+      Hold_frame { extra_ns = uniform_ns t ~lo:10_000. ~hi:50_000. }
+    end
+    else if u < c4 then begin
+      ignore (inject t Wire_bit_flip ~at_ns ~target);
+      Flip { byte = Rng.int t.rng len; bit = Rng.int t.rng 8; post_fcs = false }
+    end
+    else if u < c5 then
+      if ipv4 && len > dma_flip_min_off then begin
+        ignore (inject t Dma_bit_flip ~at_ns ~target);
+        Flip
+          {
+            byte = dma_flip_min_off + Rng.int t.rng (len - dma_flip_min_off);
+            bit = Rng.int t.rng 8;
+            post_fcs = true;
+          }
+      end
+      else begin
+        (* No transport checksum behind this frame: downgrade to a wire
+           flip so the FCS stays the detector. *)
+        ignore (inject t Wire_bit_flip ~at_ns ~target);
+        Flip
+          { byte = Rng.int t.rng len; bit = Rng.int t.rng 8; post_fcs = false }
+      end
+    else Pass
+  end
+
+(* End-of-run accounting: match [observed] detector hits (FCS errors,
+   checksum drops, ...) against the oldest pending injections of [kind].
+   Returns how many were marked; a shortfall leaves Pending entries that
+   fail the blast-radius report. *)
+let reconcile_attributed t kind ~observed ~stage ~reason =
+  let marked = ref 0 in
+  List.iter
+    (fun inj ->
+      if !marked < observed && inj.kind = kind && inj.outcome = Pending then begin
+        inj.outcome <- Attributed { stage; reason };
+        incr marked
+      end)
+    (List.rev t.inj_rev);
+  !marked
+
+let resolve_pending t kind outcome =
+  let marked = ref 0 in
+  List.iter
+    (fun inj ->
+      if inj.kind = kind && inj.outcome = Pending then begin
+        (match outcome with
+        | Recovered { ttr_ns } ->
+          inj.outcome <- outcome;
+          Metrics.observe (t.ttr_metric kind) ttr_ns
+        | _ -> inj.outcome <- outcome);
+        incr marked
+      end)
+    t.inj_rev;
+  !marked
+
+let injections t = List.rev t.inj_rev
+let injected_count t = List.length t.inj_rev
+
+let pending_count t =
+  List.fold_left
+    (fun n inj -> if inj.outcome = Pending then n + 1 else n)
+    0 t.inj_rev
+
+type tally = {
+  t_injected : int;
+  t_recovered : int;
+  t_attributed : int;
+  t_pending : int;
+}
+
+let counts t =
+  List.filter_map
+    (fun kind ->
+      let tally =
+        List.fold_left
+          (fun acc inj ->
+            if inj.kind <> kind then acc
+            else
+              match inj.outcome with
+              | Pending ->
+                { acc with t_injected = acc.t_injected + 1;
+                           t_pending = acc.t_pending + 1 }
+              | Recovered _ ->
+                { acc with t_injected = acc.t_injected + 1;
+                           t_recovered = acc.t_recovered + 1 }
+              | Attributed _ ->
+                { acc with t_injected = acc.t_injected + 1;
+                           t_attributed = acc.t_attributed + 1 })
+          { t_injected = 0; t_recovered = 0; t_attributed = 0; t_pending = 0 }
+          t.inj_rev
+      in
+      if tally.t_injected = 0 then None else Some (kind, tally))
+    all_kinds
+
+let ttrs t kind =
+  List.filter_map
+    (fun inj ->
+      match inj.outcome with
+      | Recovered { ttr_ns } when inj.kind = kind -> Some ttr_ns
+      | _ -> None)
+    (List.rev t.inj_rev)
+
+let to_json t =
+  let inj_json inj =
+    Json.Obj
+      [
+        ("id", Json.Int inj.id);
+        ("kind", Json.String (kind_name inj.kind));
+        ("at_ns", Json.Float inj.at_ns);
+        ("target", Json.String inj.target);
+        ( "outcome",
+          match inj.outcome with
+          | Pending -> Json.String "pending"
+          | Recovered { ttr_ns } ->
+            Json.Obj [ ("recovered_ttr_ns", Json.Float ttr_ns) ]
+          | Attributed { stage; reason } ->
+            Json.Obj
+              [
+                ("attributed_stage", Json.String stage);
+                ("attributed_reason", Json.String reason);
+              ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("seed", Json.String (Int64.to_string t.seed));
+      ("injected", Json.Int (injected_count t));
+      ("pending", Json.Int (pending_count t));
+      ("injections", Json.List (List.map inj_json (injections t)));
+    ]

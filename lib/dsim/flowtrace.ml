@@ -36,6 +36,10 @@ type reason =
   | Sock_queue_full
   | Capability_fault
   | Unknown_proto
+  | Fcs_error
+  | Dma_error
+  | Chaos_injected
+  | Arp_unresolved
 
 let all_stages =
   [
@@ -74,7 +78,8 @@ let all_reasons =
   [
     Tx_ring_full; Rx_ring_full; Mac_filter; Link_down; Bad_checksum;
     Parse_error; Out_of_window; Dup_segment; Rcv_buf_full; Mbuf_exhausted;
-    No_socket; Sock_queue_full; Capability_fault; Unknown_proto;
+    No_socket; Sock_queue_full; Capability_fault; Unknown_proto; Fcs_error;
+    Dma_error; Chaos_injected; Arp_unresolved;
   ]
 
 let reason_name = function
@@ -92,6 +97,10 @@ let reason_name = function
   | Sock_queue_full -> "sock_queue_full"
   | Capability_fault -> "capability_fault"
   | Unknown_proto -> "unknown_proto"
+  | Fcs_error -> "fcs_error"
+  | Dma_error -> "dma_error"
+  | Chaos_injected -> "chaos_injected"
+  | Arp_unresolved -> "arp_unresolved"
 
 let reason_of_name s =
   List.find_opt (fun r -> String.equal (reason_name r) s) all_reasons

@@ -68,6 +68,12 @@ type reason =
   | Sock_queue_full
   | Capability_fault
   | Unknown_proto
+  | Fcs_error  (** Ethernet FCS mismatch detected by the receiving MAC. *)
+  | Dma_error  (** Injected/observed DMA descriptor failure. *)
+  | Chaos_injected  (** Dropped on purpose by {!Chaos}. *)
+  | Arp_unresolved
+      (** TX packet abandoned after ARP resolution failed (negative
+          cache) or the pending queue overflowed. *)
 
 val stage_name : stage -> string
 (** Lower-case stable identifier, e.g. [Tx_ring -> "tx_ring"]. *)

@@ -112,3 +112,16 @@ let release t =
              Dsim.Flowtrace.hop next.wflow Umtx_wait
                ~at:(Dsim.Engine.now t.engine);
              next.k ~wait_ns:waited)))
+
+(* Crash cleanup: a dead compartment must leave nothing behind in the
+   kernel lock — neither the hold (siblings would deadlock on the next
+   main-loop acquisition, the failure Scenario 2 is built around) nor
+   queued continuations (they would run code of a torn-down cVM). Purge
+   the queue first so a self-waiting owner cannot be re-granted. *)
+let force_release t ~owner =
+  t.queue <- List.filter (fun w -> not (String.equal w.name owner)) t.queue;
+  match t.owner with
+  | Some o when String.equal o owner ->
+    release t;
+    true
+  | Some _ | None -> false

@@ -42,6 +42,12 @@ val release : t -> unit
 (** @raise Invalid_argument when not held. Grants to the next waiter
     per policy (scheduling its continuation after the wake cost). *)
 
+val force_release : t -> owner:string -> bool
+(** Crash cleanup for a dead compartment: drop any continuations it has
+    queued, and if it holds the lock, release (granting to the next
+    surviving waiter). Returns whether the hold was broken. Never
+    raises — safe to run unconditionally from supervisor teardown. *)
+
 val try_acquire : t -> owner:string -> bool
 val locked : t -> bool
 val holder : t -> string option

@@ -34,6 +34,7 @@ type counters = {
   mutable tx_no_mbuf : int;
   mutable rst_sent : int;
   mutable arp_requests : int;
+  mutable arp_failures : int;
 }
 
 type conn_key = int32 * int * int (* remote ip, remote port, local port *)
@@ -47,6 +48,8 @@ type stack_metrics = {
   m_rx_bytes : Dsim.Metrics.counter;
   m_tx_bytes : Dsim.Metrics.counter;
   m_rx_dropped : Dsim.Metrics.counter;
+  m_rx_csum_errors : Dsim.Metrics.counter;
+  m_arp_failures : Dsim.Metrics.counter;
   m_retransmits : Dsim.Metrics.counter;
   m_delayed_acks : Dsim.Metrics.counter;
   m_window_stalls : Dsim.Metrics.counter;
@@ -75,6 +78,14 @@ let make_metrics ~ip =
     m_rx_dropped =
       Dsim.Metrics.counter reg ~help:"Received frames dropped by the stack."
         ~labels "netstack_rx_dropped_total";
+    m_rx_csum_errors =
+      Dsim.Metrics.counter reg
+        ~help:"Received packets dropped for a bad IPv4/TCP/UDP checksum."
+        ~labels "netstack_rx_csum_errors_total";
+    m_arp_failures =
+      Dsim.Metrics.counter reg
+        ~help:"Outgoing packets dropped because ARP resolution failed."
+        ~labels "netstack_arp_failures_total";
     m_retransmits =
       Dsim.Metrics.counter reg ~help:"TCP segments retransmitted." ~labels
         "tcp_retransmits_total";
@@ -154,6 +165,7 @@ let create engine mem dev config =
         tx_no_mbuf = 0;
         rst_sent = 0;
         arp_requests = 0;
+        arp_failures = 0;
       };
     ident = 0;
     ephemeral = 49152;
@@ -193,7 +205,18 @@ let record_tx_mbuf t m =
 let drop_rx ?(flow = None) t stage reason =
   t.counters.rx_dropped <- t.counters.rx_dropped + 1;
   Dsim.Metrics.incr t.metrics.m_rx_dropped;
+  (match reason with
+  | Dsim.Flowtrace.Bad_checksum ->
+    Dsim.Metrics.incr t.metrics.m_rx_csum_errors
+  | _ -> ());
   Dsim.Flowtrace.drop Dsim.Flowtrace.default ~flow stage reason
+
+(* An IP packet abandoned on the TX path because its next hop never
+   resolved. Distinct from rx_dropped: nothing was received. *)
+let drop_arp_unresolved ?(flow = None) t =
+  t.counters.arp_failures <- t.counters.arp_failures + 1;
+  Dsim.Metrics.incr t.metrics.m_arp_failures;
+  Dsim.Flowtrace.(drop default ~flow Ip_out Arp_unresolved)
 
 (* Parse failures whose message mentions the checksum get the typed
    [Bad_checksum] reason; everything else is a generic [Parse_error]. *)
@@ -343,18 +366,25 @@ let ip_output_into t ?(flow = None) ~dst ~protocol ~payload_len write_payload =
         List.iter Dpdk.Mbuf.free rejected;
         t.counters.tx_no_mbuf <- t.counters.tx_no_mbuf + 1))
   | None ->
-    (* Parked awaiting ARP resolution: materialize the packet — the one
-       copy on this slow path, since the pending queue outlives any
-       frame buffer. The trace ends here (the flushed copy is not a
-       drop, but its trace context is not retained). *)
-    let packet = Bytes.create total_len in
-    Ipv4.build_into header packet ~off:0;
-    write_payload packet Ipv4.header_len;
-    ignore (Arp_cache.enqueue_pending t.arp hop packet);
-    if not (Arp_cache.request_outstanding t.arp ~now:(now t) hop) then begin
-      t.counters.arp_requests <- t.counters.arp_requests + 1;
-      send_arp t
-        (Arp.request ~sender_mac:t.mac ~sender_ip:t.config.ip ~target_ip:hop)
+    if Arp_cache.is_negative t.arp ~now:(now t) hop then
+      (* Resolution recently failed its whole retry budget: fail fast
+         instead of queueing behind a request known to go unanswered. *)
+      drop_arp_unresolved ~flow t
+    else begin
+      (* Parked awaiting ARP resolution: materialize the packet — the one
+         copy on this slow path, since the pending queue outlives any
+         frame buffer. The trace ends here (the flushed copy is not a
+         drop, but its trace context is not retained). *)
+      let packet = Bytes.create total_len in
+      Ipv4.build_into header packet ~off:0;
+      write_payload packet Ipv4.header_len;
+      if not (Arp_cache.enqueue_pending t.arp hop packet) then
+        drop_arp_unresolved ~flow t;
+      if not (Arp_cache.request_outstanding t.arp ~now:(now t) hop) then begin
+        t.counters.arp_requests <- t.counters.arp_requests + 1;
+        send_arp t
+          (Arp.request ~sender_mac:t.mac ~sender_ip:t.config.ip ~target_ip:hop)
+      end
     end
 
 (* Owned-bytes payload (ICMP, parked-packet style callers): one blit
@@ -703,6 +733,25 @@ let service_tcp t =
     t.conns;
   List.iter (Hashtbl.remove t.conns) !dead
 
+(* ARP resolution maintenance: retransmit due requests (the cache applies
+   its capped exponential backoff), and for resolutions whose last attempt
+   expired unanswered, drop the stranded queue with a typed attribution
+   and let the negative cache make subsequent TX fail fast. Free on a
+   healthy run: one counter load while nothing is in flight. *)
+let service_arp t =
+  if Arp_cache.outstanding t.arp > 0 then begin
+    let now_ = now t in
+    List.iter
+      (fun ip ->
+        t.counters.arp_requests <- t.counters.arp_requests + 1;
+        send_arp t
+          (Arp.request ~sender_mac:t.mac ~sender_ip:t.config.ip ~target_ip:ip))
+      (Arp_cache.due_retries t.arp ~now:now_);
+    List.iter
+      (fun (_ip, stranded) -> List.iter (fun _ -> drop_arp_unresolved t) stranded)
+      (Arp_cache.expire_failed t.arp ~now:now_)
+  end
+
 let set_hook t hook = t.hook <- hook
 
 (* CPU cost of one iteration: every frame that crossed the stack during
@@ -725,6 +774,7 @@ let loop_once t =
       Dpdk.Mbuf.free m)
     mbufs;
   service_tcp t;
+  service_arp t;
   (match t.hook with Some h -> h t | None -> ());
   let tx_delta = t.counters.tx_frames - tx_before in
   let busy = n + tx_delta in

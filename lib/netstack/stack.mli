@@ -114,6 +114,9 @@ type counters = {
   mutable tx_no_mbuf : int;
   mutable rst_sent : int;
   mutable arp_requests : int;
+  mutable arp_failures : int;
+      (** TX packets dropped because ARP resolution exhausted its retry
+          budget (typed [Ip_out]/[Arp_unresolved] in the drop table). *)
 }
 
 val counters : t -> counters

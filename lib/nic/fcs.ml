@@ -1,0 +1,23 @@
+(* IEEE 802.3 CRC-32 (reflected, polynomial 0xEDB88320), byte-at-a-time
+   over a precomputed table.  Allocation-free per frame, which keeps the
+   zero-copy fast path's minor-words budget intact. *)
+
+let table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let compute frame =
+  let crc = ref 0xFFFFFFFF in
+  for i = 0 to Bytes.length frame - 1 do
+    crc :=
+      table.((!crc lxor Char.code (Bytes.unsafe_get frame i)) land 0xff)
+      lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF

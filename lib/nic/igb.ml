@@ -22,6 +22,7 @@ type port = {
   mutable dma_cap : Cheri.Capability.t;
   mutable wire : (Link.t * Link.endpoint) option;
   mutable promisc : bool;
+  mutable rx_fault : (len:int -> bool) option;
   stats : Port_stats.t;
 }
 
@@ -46,6 +47,7 @@ let create engine mem ~bus ~macs ?(rx_ring_size = 512) ?(tx_ring_size = 1024) ()
       dma_cap = Cheri.Capability.null;
       wire = None;
       promisc = false;
+      rx_fault = None;
       stats = Port_stats.create ();
     }
   in
@@ -64,6 +66,10 @@ let mac p = p.mac
 let stats p = p.stats
 let set_dma_cap p cap = p.dma_cap <- cap
 let set_promisc p b = p.promisc <- b
+
+(* Chaos hook: a [true] verdict fails the frame's RX DMA transfer (the
+   descriptor-error injection of the robustness harness). *)
+let set_rx_fault p f = p.rx_fault <- f
 
 (* --- wire-frame recycling ----------------------------------------------
 
@@ -183,11 +189,25 @@ let accepts p frame =
    those are released back once the RX DMA blit has consumed them, or
    immediately on a drop. Frames handed in directly (tests, fault
    injection) stay owned by the caller — they may be re-delivered. *)
-let deliver_frame p ~flow ~recycle frame =
+let deliver_frame p ~flow ~fcs ~recycle frame =
   let len = Bytes.length frame in
-  if not (accepts p frame) then begin
+  (* The MAC recomputes the CRC as the frame comes off the wire; a
+     mismatch never reaches a descriptor — exactly how wire bit flips
+     must die. Checked before the address filter, as the CRC engine
+     runs regardless of who the frame is for. *)
+  if fcs <> Fcs.compute frame then begin
+    p.stats.rx_crc_errors <- p.stats.rx_crc_errors + 1;
+    Dsim.Flowtrace.(drop default ~flow Rx_dma Fcs_error);
+    if recycle then wire_release frame
+  end
+  else if not (accepts p frame) then begin
     p.stats.rx_filtered <- p.stats.rx_filtered + 1;
     Dsim.Flowtrace.(drop default ~flow Rx_dma Mac_filter);
+    if recycle then wire_release frame
+  end
+  else if (match p.rx_fault with Some f -> f ~len | None -> false) then begin
+    p.stats.rx_dma_errors <- p.stats.rx_dma_errors + 1;
+    Dsim.Flowtrace.(drop default ~flow Rx_dma Dma_error);
     if recycle then wire_release frame
   end
   else if Queue.is_empty p.rx_free then begin
@@ -223,12 +243,15 @@ let deliver_frame p ~flow ~recycle frame =
     end
   end
 
-let deliver p ?(flow = None) frame = deliver_frame p ~flow ~recycle:false frame
+(* Test/injection entry: the frame never crossed a MAC, so its FCS is
+   computed here (i.e. always valid). *)
+let deliver p ?(flow = None) frame =
+  deliver_frame p ~flow ~fcs:(Fcs.compute frame) ~recycle:false frame
 
 let connect p link ep =
   p.wire <- Some (link, ep);
-  Link.attach link ep (fun ~flow frame ->
-      deliver_frame p ~flow ~recycle:true frame)
+  Link.attach link ep (fun ~flow ~fcs frame ->
+      deliver_frame p ~flow ~fcs ~recycle:true frame)
 
 let rx_refill p ~addr ~len =
   if Queue.length p.rx_free >= p.rx_ring_size then false

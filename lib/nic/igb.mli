@@ -47,6 +47,11 @@ val set_dma_cap : port -> Cheri.Capability.t -> unit
 
 val set_promisc : port -> bool -> unit
 
+val set_rx_fault : port -> (len:int -> bool) option -> unit
+(** Chaos hook consulted per accepted frame; a [true] verdict fails the
+    RX DMA transfer: the frame is dropped with an [Rx_dma]/[Dma_error]
+    attribution and counted in {!Port_stats.t.rx_dma_errors}. *)
+
 val connect : port -> Link.t -> Link.endpoint -> unit
 (** Attach the port to its wire end and install the receive path. *)
 

@@ -1,9 +1,13 @@
 type endpoint = A | B
 
+type tamper =
+  now:Dsim.Time.t -> ipv4:bool -> len:int -> Dsim.Chaos.frame_action
+
 type dir_state = {
   mutable busy_until : Dsim.Time.t;
   (* receiver at the far end *)
-  mutable handler : (flow:Dsim.Flowtrace.ctx option -> bytes -> unit) option;
+  mutable handler :
+    (flow:Dsim.Flowtrace.ctx option -> fcs:int -> bytes -> unit) option;
   mutable carried : int;
 }
 
@@ -14,14 +18,17 @@ type t = {
   a_to_b : dir_state;
   b_to_a : dir_state;
   mutable dropped : int;
+  mutable tampered : int;
   mutable up : bool;
+  mutable tamper : tamper option;
 }
 
 let overhead_bytes = 24
 
 let create engine ?(bps = 1e9) ?(prop_delay = Dsim.Time.ns 500) () =
   let dir () = { busy_until = Dsim.Time.zero; handler = None; carried = 0 } in
-  { engine; bps; prop_delay; a_to_b = dir (); b_to_a = dir (); dropped = 0; up = true }
+  { engine; bps; prop_delay; a_to_b = dir (); b_to_a = dir (); dropped = 0;
+    tampered = 0; up = true; tamper = None }
 
 (* [attach t A f] installs the handler for frames arriving AT endpoint A,
    i.e. frames travelling B->A. *)
@@ -31,6 +38,15 @@ let attach t ep f =
   | B -> t.a_to_b.handler <- Some f
 
 let dir_of t = function A -> t.a_to_b | B -> t.b_to_a
+
+let is_ipv4 frame =
+  Bytes.length frame >= 34
+  && Bytes.get frame 12 = '\x08'
+  && Bytes.get frame 13 = '\x00'
+
+let flip_bit frame ~byte ~bit =
+  Bytes.set frame byte
+    (Char.chr (Char.code (Bytes.get frame byte) lxor (1 lsl bit)))
 
 let transmit t ?(flow = None) ~from ~frame () =
   let d = dir_of t from in
@@ -42,19 +58,66 @@ let transmit t ?(flow = None) ~from ~frame () =
   d.busy_until <- tx_done;
   d.carried <- d.carried + wire_bytes;
   let arrival = Dsim.Time.add tx_done t.prop_delay in
+  (* The transmitting MAC's FCS over the untampered frame; corruption
+     injected below happens "on the wire", after this point. *)
+  let fcs = Fcs.compute frame in
   let deliver () =
-    let drop () =
+    let drop_down () =
       t.dropped <- t.dropped + 1;
       Dsim.Flowtrace.(drop default ~flow Wire Link_down)
     in
-    if t.up then
-      match d.handler with Some f -> f ~flow frame | None -> drop ()
-    else drop ()
+    if not t.up then drop_down ()
+    else
+      match d.handler with
+      | None -> drop_down ()
+      | Some f -> (
+        match t.tamper with
+        | None -> f ~flow ~fcs frame
+        | Some tam -> (
+          match
+            tam ~now:(Dsim.Engine.now t.engine) ~ipv4:(is_ipv4 frame)
+              ~len:(Bytes.length frame)
+          with
+          | Dsim.Chaos.Pass -> f ~flow ~fcs frame
+          | Dsim.Chaos.Flip { byte; bit; post_fcs } ->
+            t.tampered <- t.tampered + 1;
+            flip_bit frame ~byte ~bit;
+            (* A flip behind the MAC (DMA/buffer corruption) arrives
+               with a *valid* FCS — the transport checksum must catch
+               it; a wire flip leaves the transmit-side FCS stale. *)
+            let fcs = if post_fcs then Fcs.compute frame else fcs in
+            f ~flow ~fcs frame
+          | Dsim.Chaos.Drop_frame ->
+            t.tampered <- t.tampered + 1;
+            t.dropped <- t.dropped + 1;
+            Dsim.Flowtrace.(drop default ~flow Wire Chaos_injected)
+          | Dsim.Chaos.Dup_frame ->
+            t.tampered <- t.tampered + 1;
+            (* The duplicate is a copy: the original may be recycled by
+               the receiving NIC as soon as its RX DMA completes. *)
+            let copy = Bytes.copy frame in
+            f ~flow ~fcs frame;
+            ignore
+              (Dsim.Engine.schedule t.engine ~delay:(Dsim.Time.ns 1000)
+                 (fun () ->
+                   if t.up then f ~flow:None ~fcs copy
+                   else begin
+                     t.dropped <- t.dropped + 1;
+                     Dsim.Flowtrace.(drop default Wire Link_down)
+                   end))
+          | Dsim.Chaos.Hold_frame { extra_ns } ->
+            t.tampered <- t.tampered + 1;
+            ignore
+              (Dsim.Engine.schedule t.engine
+                 ~delay:(Dsim.Time.of_float_ns extra_ns) (fun () ->
+                   if t.up then f ~flow ~fcs frame else drop_down ()))))
   in
   ignore (Dsim.Engine.schedule_at t.engine ~at:arrival deliver);
   tx_done
 
 let carried_bytes t ~from = (dir_of t from).carried
 let dropped t = t.dropped
+let tampered t = t.tampered
 let up t = t.up
 let set_up t b = t.up <- b
+let set_tamper t f = t.tamper <- f

@@ -6,10 +6,20 @@
     inter-frame gap and 4 bytes of FCS accounted on the wire.
 
     A link has two endpoints, [A] and [B]; devices attach a delivery
-    callback to their end and transmit towards the other. *)
+    callback to their end and transmit towards the other.
+
+    The transmitting MAC computes the frame's FCS ({!Fcs.compute}) and
+    the receiver gets it alongside the bytes; a chaos tamper hook
+    ({!set_tamper}) may corrupt, drop, duplicate or delay each frame
+    between the two MACs, which is exactly where wire faults live. *)
 
 type t
 type endpoint = A | B
+
+type tamper =
+  now:Dsim.Time.t -> ipv4:bool -> len:int -> Dsim.Chaos.frame_action
+(** Consulted once per frame at delivery time (down links drop frames
+    before the lottery, keeping attribution unambiguous). *)
 
 val overhead_bytes : int
 (** Per-frame wire overhead beyond the frame buffer: preamble (8) +
@@ -19,10 +29,14 @@ val create :
   Dsim.Engine.t -> ?bps:float -> ?prop_delay:Dsim.Time.t -> unit -> t
 
 val attach :
-  t -> endpoint -> (flow:Dsim.Flowtrace.ctx option -> bytes -> unit) -> unit
+  t ->
+  endpoint ->
+  (flow:Dsim.Flowtrace.ctx option -> fcs:int -> bytes -> unit) ->
+  unit
 (** Install the receive handler for frames arriving at this end. The
-    handler receives the frame's flow-trace context, if sampled, so a
-    trace survives the wire crossing. *)
+    handler receives the frame's flow-trace context, if sampled, plus
+    the FCS computed by the transmitting MAC — the receiving MAC
+    recomputes and compares ({!Igb}). *)
 
 val transmit :
   t ->
@@ -42,6 +56,11 @@ val carried_bytes : t -> from:endpoint -> int
 (** Wire bytes (incl. overhead) sent from this endpoint; diagnostics. *)
 
 val dropped : t -> int
+val tampered : t -> int
+(** Frames the tamper hook acted on (any non-[Pass] verdict). *)
+
 val up : t -> bool
 val set_up : t -> bool -> unit
 (** An administratively-down link drops all frames (fault injection). *)
+
+val set_tamper : t -> tamper option -> unit

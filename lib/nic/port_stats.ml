@@ -5,6 +5,8 @@ type t = {
   mutable rx_bytes : int;
   mutable rx_no_desc : int;
   mutable rx_filtered : int;
+  mutable rx_crc_errors : int;
+  mutable rx_dma_errors : int;
   mutable tx_ring_full : int;
 }
 
@@ -16,6 +18,8 @@ let create () =
     rx_bytes = 0;
     rx_no_desc = 0;
     rx_filtered = 0;
+    rx_crc_errors = 0;
+    rx_dma_errors = 0;
     tx_ring_full = 0;
   }
 
@@ -26,10 +30,13 @@ let reset t =
   t.rx_bytes <- 0;
   t.rx_no_desc <- 0;
   t.rx_filtered <- 0;
+  t.rx_crc_errors <- 0;
+  t.rx_dma_errors <- 0;
   t.tx_ring_full <- 0
 
 let pp fmt t =
   Format.fprintf fmt
-    "tx=%d pkts/%d B rx=%d pkts/%d B drops(no_desc=%d filtered=%d ring_full=%d)"
+    "tx=%d pkts/%d B rx=%d pkts/%d B drops(no_desc=%d filtered=%d crc=%d \
+     dma=%d ring_full=%d)"
     t.tx_packets t.tx_bytes t.rx_packets t.rx_bytes t.rx_no_desc t.rx_filtered
-    t.tx_ring_full
+    t.rx_crc_errors t.rx_dma_errors t.tx_ring_full

@@ -93,7 +93,7 @@ let corruption_is_caught () =
      corrupting one. *)
   let port = Core.Topology.port w.rnode 0 in
   let rng = Dsim.Rng.create ~seed:7L in
-  Nic.Link.attach w.link Nic.Link.B (fun ~flow:_ frame ->
+  Nic.Link.attach w.link Nic.Link.B (fun ~flow:_ ~fcs:_ frame ->
       let frame =
         if Dsim.Rng.float rng 1.0 < 0.3 && Bytes.length frame > 40 then begin
           let f = Bytes.copy frame in

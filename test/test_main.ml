@@ -15,4 +15,5 @@ let () =
       ("mavlink", Test_mavlink.suite);
       ("faults", Test_faults.suite);
       ("zero_copy", Test_zero_copy.suite);
+      ("chaos", Test_chaos.suite);
     ]

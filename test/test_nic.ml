@@ -66,7 +66,7 @@ let link_delivery () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:(Dsim.Time.ns 500) () in
   let got = ref [] in
-  Nic.Link.attach l Nic.Link.B (fun ~flow:_ f -> got := Bytes.to_string f :: !got);
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ ~fcs:_ f -> got := Bytes.to_string f :: !got);
   let frame = Bytes.make 100 'x' in
   let tx_done = Nic.Link.transmit l ~from:Nic.Link.A ~frame () in
   (* (100 + 24 overhead) * 8ns = 992ns serialization *)
@@ -78,7 +78,7 @@ let link_delivery () =
 let link_back_to_back () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
-  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ ~fcs:_ _ -> ());
   let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') () in
   let t2 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'b') () in
   Alcotest.(check int64) "second serializes after first" (Int64.mul t1 2L) t2
@@ -86,8 +86,8 @@ let link_back_to_back () =
 let link_full_duplex () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e ~bps:1e9 ~prop_delay:Dsim.Time.zero () in
-  Nic.Link.attach l Nic.Link.A (fun ~flow:_ _ -> ());
-  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  Nic.Link.attach l Nic.Link.A (fun ~flow:_ ~fcs:_ _ -> ());
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ ~fcs:_ _ -> ());
   let t1 = Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'a') () in
   let t2 = Nic.Link.transmit l ~from:Nic.Link.B ~frame:(Bytes.make 100 'b') () in
   Alcotest.(check int64) "directions independent" t1 t2
@@ -96,7 +96,7 @@ let link_down_drops () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e () in
   let got = ref 0 in
-  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> incr got);
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ ~fcs:_ _ -> incr got);
   Nic.Link.set_up l false;
   ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 10 'x') ());
   Dsim.Engine.run_until_quiet e;
@@ -117,7 +117,7 @@ let link_no_handler_drops () =
 let link_carried_accounting () =
   let e = Dsim.Engine.create () in
   let l = Nic.Link.create e () in
-  Nic.Link.attach l Nic.Link.B (fun ~flow:_ _ -> ());
+  Nic.Link.attach l Nic.Link.B (fun ~flow:_ ~fcs:_ _ -> ());
   ignore (Nic.Link.transmit l ~from:Nic.Link.A ~frame:(Bytes.make 100 'x') ());
   Alcotest.(check int) "wire bytes include overhead" 124
     (Nic.Link.carried_bytes l ~from:Nic.Link.A)
