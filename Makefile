@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock clean
+.PHONY: all build test check bench wallclock audit clean
 
 all: build
 
@@ -17,13 +17,21 @@ bench:
 wallclock:
 	dune exec bench/main.exe -- wallclock
 
-# Full gate: build, unit/property tests, then four smoke runs —
+# Capability provenance audit: stock scenarios under the invariant
+# checker plus the attack-surface report (exit non-zero on any
+# violation or a Scenario 2 surface not smaller than Scenario 1's).
+audit:
+	dune exec bin/netrepro.exe -- audit --quick
+
+# Full gate: build, unit/property tests, then five smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
 # families in the Prometheus dump, Fig. 5 with flow tracing enabled
 # must produce an analyzable trace covering the measurement stages,
 # the seeded chaos run must attribute or recover every injected fault,
-# and the wall-clock bench must keep the ff_write fast path within its
-# minor-allocation budget (the zero-copy regression gate).
+# the capability audit must find zero invariant violations on the
+# stock scenarios, and the wall-clock bench must keep the ff_write
+# fast path within its minor-allocation budget (the zero-copy
+# regression gate).
 check:
 	dune build
 	dune runtest
@@ -53,6 +61,14 @@ check:
 	@grep -q "unrecovered faults: 0" /tmp/netrepro-check.chaos.txt \
 	  || { echo "check: chaos left unrecovered faults"; exit 1; }
 	@echo "check: chaos attribution 100%, no unrecovered faults"
+	dune exec bin/netrepro.exe -- audit --quick --seed 42 \
+	  > /tmp/netrepro-check.audit.txt \
+	  || { cat /tmp/netrepro-check.audit.txt; \
+	       echo "check: audit run failed"; exit 1; }
+	@grep -q "invariant violations (stock scenarios): 0" \
+	  /tmp/netrepro-check.audit.txt \
+	  || { echo "check: audit found invariant violations"; exit 1; }
+	@echo "check: capability audit clean on stock scenarios"
 	dune exec bench/main.exe -- wallclock quick
 	@echo "check: OK"
 

@@ -108,10 +108,43 @@ let bench_umtx =
          Capvm.Umtx.acquire mu ~owner:"bench" (fun ~wait_ns:_ -> ());
          Capvm.Umtx.release mu))
 
+(* Audit ledger: the disabled path must be one load-and-branch (the
+   zero-cost claim behind the bit-identical Fig. 4 gate); the enabled
+   path prices a sampled exercise check against the provenance DAG. *)
+let bench_audit =
+  let au = Dsim.Audit.default in
+  let region =
+    Cheri.Capability.root ~base:0x100000 ~length:0x1000
+      ~perms:Cheri.Perms.data
+  in
+  Dsim.Audit.set_enabled au true;
+  Dsim.Audit.set_sample_every au 1;
+  Cheri.Provenance.record_mint region ~owner:"bench" ~label:"root";
+  let buf =
+    Cheri.Capability.derive region ~offset:0 ~length:256
+      ~perms:Cheri.Perms.data
+  in
+  Cheri.Provenance.record_derive ~parent:region buf;
+  Cheri.Provenance.record_grant buf ~cvm:"bench";
+  Dsim.Audit.set_enabled au false;
+  let off () = Cheri.Provenance.record_exercise buf ~address:0x100000 in
+  let on () =
+    Dsim.Audit.set_enabled au true;
+    Cheri.Fault.set_context "bench";
+    Cheri.Provenance.record_exercise buf ~address:0x100000;
+    Cheri.Fault.set_context "host";
+    Dsim.Audit.set_enabled au false
+  in
+  [
+    Test.make ~name:"audit/exercise-disabled" (Staged.stage off);
+    Test.make ~name:"audit/exercise-enabled" (Staged.stage on);
+  ]
+
 let micro_tests () =
   Test.make_grouped ~name:"cheri-netstack"
     ([ bench_loc; bench_loop ] @ bench_capcheck
-    @ [ bench_ff_write; bench_trampoline; bench_umtx ])
+    @ [ bench_ff_write; bench_trampoline; bench_umtx ]
+    @ bench_audit)
 
 let run_micro () =
   let ols =

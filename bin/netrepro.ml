@@ -141,6 +141,27 @@ let run_attacks () =
     (Core.Attack.run_all ());
   0
 
+let run_audit seed quick json_file =
+  let profile =
+    if quick then Core.Audit_experiment.quick else Core.Audit_experiment.full
+  in
+  let report = Core.Audit_experiment.run ~profile ~seed () in
+  print_string report.Core.Audit_experiment.text;
+  flush stdout;
+  let ok_json =
+    match json_file with
+    | None -> true
+    | Some path -> (
+      match
+        write_file path (Dsim.Json.to_string report.Core.Audit_experiment.json)
+      with
+      | () -> true
+      | exception Sys_error msg ->
+        Printf.eprintf "netrepro: cannot write %s\n" msg;
+        false)
+  in
+  if report.Core.Audit_experiment.pass && ok_json then 0 else 1
+
 let run_chaos seed quick =
   let profile =
     if quick then Core.Chaos_experiment.quick else Core.Chaos_experiment.full
@@ -256,6 +277,38 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc) Term.(const run_chaos $ chaos_seed_opt $ quick_flag)
 
+let audit_seed_opt =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Audit topology/chaos seed. The audit paths use no RNG and no \
+           clock reads, so the report is a pure function of seed and \
+           profile.")
+
+let audit_json_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable audit report (provenance DAG \
+           summary, per-compartment surfaces, violations, chaos \
+           cross-reference) to $(docv).")
+
+let audit_cmd =
+  let doc =
+    "capability provenance audit: run the stock scenarios with the \
+     provenance DAG and invariant checker enabled, print the \
+     per-compartment attack-surface report (exit 1 on any invariant \
+     violation, on a Scenario 2 app surface not strictly smaller than \
+     Scenario 1's replicated stack, or if a seeded capability fault goes \
+     unattributed)"
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc)
+    Term.(const run_audit $ audit_seed_opt $ quick_flag $ audit_json_opt)
+
 let analyze_file_arg =
   Arg.(
     required
@@ -300,5 +353,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          ([ run_cmd; list_cmd; attack_cmd; chaos_cmd; analyze_cmd ]
+          ([ run_cmd; list_cmd; attack_cmd; chaos_cmd; audit_cmd; analyze_cmd ]
           @ experiment_cmds)))

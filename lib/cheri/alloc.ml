@@ -2,6 +2,7 @@ type block = { addr : int; size : int }
 
 type t = {
   region : Capability.t;
+  label : string;  (* provenance label for carved capabilities *)
   mutable free_list : block list;  (* sorted by addr, coalesced *)
   live : (int, int) Hashtbl.t;  (* base addr -> size *)
   mutable live_bytes : int;
@@ -9,7 +10,7 @@ type t = {
 
 let align_up n a = (n + a - 1) / a * a
 
-let create ~region =
+let create ?(label = "alloc") ~region () =
   if not (Capability.is_tagged region) then
     invalid_arg "Alloc.create: untagged region";
   if Capability.is_sealed region then invalid_arg "Alloc.create: sealed region";
@@ -19,6 +20,7 @@ let create ~region =
   if size <= 0 then invalid_arg "Alloc.create: empty region";
   {
     region;
+    label;
     free_list = [ { addr = base; size } ];
     live = Hashtbl.create 64;
     live_bytes = 0;
@@ -42,7 +44,11 @@ let malloc t ?perms n =
   Hashtbl.replace t.live addr need;
   t.live_bytes <- t.live_bytes + need;
   let cap = Capability.set_bounds t.region ~base:addr ~length:n in
-  match perms with None -> cap | Some p -> Capability.and_perms cap p
+  let cap =
+    match perms with None -> cap | Some p -> Capability.and_perms cap p
+  in
+  Provenance.record_derive ~label:t.label ~parent:t.region cap;
+  cap
 
 let calloc t ?perms mem n =
   let cap = malloc t ?perms n in
@@ -77,6 +83,7 @@ let free t cap =
   | Some size ->
     Hashtbl.remove t.live addr;
     t.live_bytes <- t.live_bytes - size;
+    Provenance.record_revoke cap ~reason:"free";
     insert_coalesced t { addr; size }
 
 let live_bytes t = t.live_bytes

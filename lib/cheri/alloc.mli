@@ -9,8 +9,10 @@
 
 type t
 
-val create : region:Capability.t -> t
-(** [region] must be tagged, unsealed and granule-aligned. *)
+val create : ?label:string -> region:Capability.t -> unit -> t
+(** [region] must be tagged, unsealed and granule-aligned. [label]
+    (default ["alloc"]) tags every carved capability's
+    {!Provenance} node — e.g. the DPDK EAL passes ["memzone"]. *)
 
 val malloc : t -> ?perms:Perms.t -> int -> Capability.t
 (** Allocate [n] bytes ([n > 0]); permissions default to the region's.

@@ -55,6 +55,15 @@ let register_compartment name =
 let raise_fault kind ~address ~detail =
   if Dsim.Metrics.enabled Dsim.Metrics.default then
     Dsim.Metrics.incr (faults_metric ~cvm:!context ~kind);
+  (* Mirror the trap into the audit ledger so chaos-injected capability
+     faults cross-reference with audit attribution by cVM and kind.
+     Hw_fault never raises in strict mode — the capability fault below
+     is the authoritative exception. *)
+  if Dsim.Audit.enabled Dsim.Audit.default then
+    Dsim.Audit.record_violation Dsim.Audit.default ~kind:Dsim.Audit.Hw_fault
+      ~cvm:!context ~address
+      ~detail:(kind_label kind ^ ": " ^ detail)
+      ~source:"hardware";
   raise (Capability_fault { kind; address; detail })
 
 let kind_to_string = function

@@ -132,6 +132,7 @@ let store_cap t ~cap ~addr stored =
   if Capability.is_tagged stored && not (Capability.perms stored).Perms.global then
     Fault.raise_fault Permission_violation ~address:addr
       ~detail:"store of a local (non-global) capability to memory";
+  Provenance.record_exercise cap ~address:addr;
   Hashtbl.replace t.caps addr stored;
   if Capability.is_tagged stored then Dsim.Metrics.incr tag_writes;
   Bytes.set t.tags (addr / granule) (if Capability.is_tagged stored then '\001' else '\000')
@@ -167,11 +168,13 @@ let borrow_oob =
 let borrow t ~cap ~addr ~len =
   Capability.check_access cap Load ~addr ~len;
   phys_check t ~addr ~len;
+  Provenance.record_exercise cap ~address:addr;
   Dsim.Slice.make t.data ~off:addr ~len ~abs:addr ~oob:borrow_oob
 
 let borrow_mut t ~cap ~addr ~len =
   Capability.check_access cap Store ~addr ~len;
   phys_check t ~addr ~len;
+  Provenance.record_exercise cap ~address:addr;
   (* A mutable borrow is a bulk raw store: any capability tags in the
      window are destroyed up front, as each individual checked store
      would have destroyed them. *)

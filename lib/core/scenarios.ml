@@ -337,9 +337,18 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
           ~flow:(Capvm.Cvm.name app_cvm) App
       in
       Capvm.Umtx.acquire mu ~flow ~owner:(Capvm.Cvm.name app_cvm) (fun ~wait_ns:_ ->
+          (* The app step belongs to the app cVM: set the attribution
+             context for the synchronous part so the trampoline records
+             an appN -> cVM1 crossing (not host -> cVM1) and the audit's
+             cross-compartment edges match the paper's topology. *)
+          let saved_ctx = Cheri.Fault.current_context () in
+          Cheri.Fault.set_context (Capvm.Cvm.name app_cvm);
           let tx0 = stack_counters.Netstack.Stack.tx_frames in
           let (), tramp_ns =
-            Capvm.Intravisor.trampoline iv ~flow ~into:sp.sp_stack_cvm step
+            Fun.protect
+              ~finally:(fun () -> Cheri.Fault.set_context saved_ctx)
+              (fun () ->
+                Capvm.Intravisor.trampoline iv ~flow ~into:sp.sp_stack_cvm step)
           in
           let tx_delta = stack_counters.Netstack.Stack.tx_frames - tx0 in
           let work_ns =

@@ -6,7 +6,12 @@ type t = {
 }
 
 let create engine mem ~region =
-  { engine; mem; alloc = Cheri.Alloc.create ~region; zones = Hashtbl.create 16 }
+  {
+    engine;
+    mem;
+    alloc = Cheri.Alloc.create ~label:"memzone" ~region ();
+    zones = Hashtbl.create 16;
+  }
 
 let engine t = t.engine
 let mem t = t.mem

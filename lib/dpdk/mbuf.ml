@@ -48,6 +48,7 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
       Cheri.Capability.derive zone ~offset:off ~length:buf_len
         ~perms:Cheri.Perms.data
     in
+    Cheri.Provenance.record_derive ~label:"mbuf" ~parent:zone bcap;
     Queue.push
       {
         pool;

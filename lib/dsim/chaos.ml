@@ -109,6 +109,10 @@ let inject t kind ~at_ns ~target =
   let inj = { id; kind; at_ns; target; outcome = Pending } in
   t.inj_rev <- inj :: t.inj_rev;
   Hashtbl.replace t.by_id id inj;
+  (* Mirror into the audit ledger: an audit report over a chaos run can
+     cross-reference injected capability faults against audited
+     hardware faults by cVM and kind. *)
+  Audit.record_event Audit.default Audit.Chaos_injection;
   id
 
 let find_exn t id =

@@ -40,6 +40,13 @@ let create iv ~name ~capacity =
     Cheri.Capability.and_perms region
       { Cheri.Perms.none with Cheri.Perms.load = true; global = true }
   in
+  (* Channel endpoints are legitimately exercised from both sides; the
+     channel flag tells the confinement checker to record an edge
+     instead of a violation. *)
+  Cheri.Provenance.record_derive ~label:"channel" ~parent:region write_view;
+  Cheri.Provenance.mark_channel write_view;
+  Cheri.Provenance.record_derive ~label:"channel" ~parent:region read_view;
+  Cheri.Provenance.mark_channel read_view;
   ({ cap = write_view; channel = t }, { cap = read_view; channel = t })
 
 let name t = t.chan_name
@@ -49,6 +56,7 @@ let free_space t = t.cap_bytes - t.len
 
 let send ep b =
   let t = ep.channel in
+  Cheri.Provenance.record_exercise ep.cap ~address:t.base;
   let n = min (Bytes.length b) (free_space t) in
   if n > 0 then begin
     let tail = (t.head + t.len) mod t.cap_bytes in
@@ -70,6 +78,7 @@ let send ep b =
 
 let recv ep ~max =
   let t = ep.channel in
+  Cheri.Provenance.record_exercise ep.cap ~address:t.base;
   let n = min max t.len in
   if n <= 0 then begin
     if max > 0 then

@@ -14,6 +14,8 @@ type t = {
 let make ~name ~id ~region ~entry_otype ~sealed_entry =
   let ddc = Cheri.Capability.and_perms region Cheri.Perms.read_write in
   let pcc = Cheri.Capability.and_perms region Cheri.Perms.execute_only in
+  Cheri.Provenance.record_derive ~label:"ddc" ~parent:region ddc;
+  Cheri.Provenance.record_derive ~label:"pcc" ~parent:region pcc;
   (* Per-compartment accounting: the series exist (at zero) from the
      moment the cVM does, so a run that never faults still reports it. *)
   Cheri.Fault.register_compartment name;
@@ -32,7 +34,7 @@ let make ~name ~id ~region ~entry_otype ~sealed_entry =
     id;
     region;
     compartment = Cheri.Compartment.make ~name ~id ~ddc ~pcc;
-    heap = Cheri.Alloc.create ~region:ddc;
+    heap = Cheri.Alloc.create ~region:ddc ();
     entry_otype;
     sealed_entry;
     trampolines = 0;

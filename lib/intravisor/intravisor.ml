@@ -25,6 +25,8 @@ let create engine ~mem_size ~cost =
     Cheri.Capability.root ~base:0 ~length:otype_space
       ~perms:{ Cheri.Perms.none with seal = true; unseal = true }
   in
+  Cheri.Provenance.record_mint root ~owner:"intravisor" ~label:"root";
+  Cheri.Provenance.record_mint sealer ~owner:"intravisor" ~label:"sealer";
   {
     engine;
     mem;
@@ -33,7 +35,7 @@ let create engine ~mem_size ~cost =
     root;
     sealer;
     otypes = Cheri.Otype.allocator ();
-    region_alloc = Cheri.Alloc.create ~region:root;
+    region_alloc = Cheri.Alloc.create ~region:root ();
     cvms = [];
     next_id = 1;
     trampolines = 0;
@@ -53,20 +55,25 @@ let create_cvm t ~name ~size =
   let cvm_perms =
     { Cheri.Perms.all with Cheri.Perms.seal = false; unseal = false }
   in
-  let region =
-    Cheri.Capability.and_perms (Cheri.Alloc.malloc t.region_alloc size)
-      cvm_perms
-  in
+  let raw_region = Cheri.Alloc.malloc t.region_alloc size in
+  let region = Cheri.Capability.and_perms raw_region cvm_perms in
+  (* The region is the cVM's endowment: derive + grant are what the
+     confinement checker later matches exercises against. *)
+  Cheri.Provenance.record_derive ~owner:name ~label:"region"
+    ~parent:raw_region region;
+  Cheri.Provenance.record_grant region ~cvm:name;
   let entry_otype = Cheri.Otype.fresh t.otypes in
   (* The entry point is an execute capability at the region base, sealed
      with the cVM's otype; only the Intravisor's authority unseals it. *)
   let entry =
     Cheri.Capability.and_perms region Cheri.Perms.execute_only
   in
+  Cheri.Provenance.record_derive ~label:"entry" ~parent:region entry;
   let sealing_cap =
     Cheri.Capability.set_cursor t.sealer (Cheri.Otype.to_int entry_otype)
   in
   let sealed_entry = Cheri.Capability.seal ~sealer:sealing_cap entry in
+  Cheri.Provenance.record_seal ~parent:entry sealed_entry;
   let cvm = Cvm.make ~name ~id:t.next_id ~region ~entry_otype ~sealed_entry in
   t.next_id <- t.next_id + 1;
   t.cvms <- t.cvms @ [ cvm ];
@@ -84,16 +91,24 @@ let trampoline t ?(flow = None) ~into f =
       (Cheri.Otype.to_int (Cvm.entry_otype into))
   in
   let entry = Cheri.Capability.unseal ~unsealer (Cvm.sealed_entry into) in
+  Cheri.Provenance.record_unseal ~parent:(Cvm.sealed_entry into) entry;
   Cheri.Capability.check_access entry Cheri.Capability.Execute
     ~addr:(Cheri.Capability.base entry) ~len:4;
   t.trampolines <- t.trampolines + 2 (* in + out *);
   Cvm.note_trampoline into;
   (* Run the body under the target compartment's fault-attribution
-     context; restored even when the body traps. *)
+     context; restored even when the body traps. The open crossing is
+     what lets the confinement checker explain the callee touching the
+     caller's buffers (e.g. cVM2's app buffer inside cVM1's stack). *)
   let saved = Cheri.Fault.current_context () in
+  Cheri.Provenance.crossing_begin ~from_cvm:saved ~into:(Cvm.name into);
   Cheri.Fault.set_context (Cvm.name into);
   let result =
-    Fun.protect ~finally:(fun () -> Cheri.Fault.set_context saved) f
+    Fun.protect
+      ~finally:(fun () ->
+        Cheri.Fault.set_context saved;
+        Cheri.Provenance.crossing_end ())
+      f
   in
   (result, trampoline_cost_ns t)
 

@@ -37,6 +37,10 @@ let backoff_base_ns = 500.
 
 let invoke t sc =
   t.calls <- t.calls + 1;
+  (* The shim is a boundary crossing like the trampoline: the syscall
+     transfers control (and argument buffers) into the Intravisor. *)
+  Cheri.Provenance.record_transfer ~from_cvm:(Cvm.name t.cvm)
+    ~into:"intravisor";
   match t.transient with
   | None -> Intravisor.syscall t.iv ~from:t.cvm sc
   | Some tr ->

@@ -169,6 +169,12 @@ let rec handle_fault t e fault =
   List.iter
     (fun cleanup -> try cleanup () with _ -> ())
     (List.rev e.e_cleanups);
+  (* Containment revokes the compartment's whole endowment — the audit
+     ledger sees the teardown as a revocation storm, and any dangling
+     dereference during quarantine surfaces as a temporal leak. *)
+  ignore
+    (Cheri.Provenance.revoke_owned ~owner:e.e_name
+       ~reason:"supervisor_cleanup");
   open_window e ~now;
   set_state t e Quarantined;
   match e.e_policy with
@@ -186,6 +192,11 @@ and attempt_restart t e =
   match e.e_restart_fn () with
   | () ->
     Cheri.Fault.set_context saved;
+    (* Re-endow: the quarantine revocations are lifted so post-restart
+       exercises of the compartment's own capabilities are clean. *)
+    ignore
+      (Cheri.Provenance.restore_owned ~owner:e.e_name
+         ~reason:"supervisor_cleanup");
     let now = Dsim.Engine.now t.engine in
     close_window e ~now;
     Dsim.Metrics.observe e.e_recovery

@@ -44,6 +44,7 @@ let ff_read t fd ~buf ~nbytes =
     guard_cap (fun () ->
         Cheri.Capability.check_access buf Cheri.Capability.Store ~addr
           ~len:nbytes);
+    Cheri.Provenance.record_exercise buf ~address:addr;
     let staging = Bytes.create nbytes in
     match Stack.read t.stack fd ~buf:staging ~off:0 ~len:nbytes with
     | Error _ as e -> e
@@ -63,6 +64,7 @@ let ff_sendto t fd ~ip ~port ~buf ~nbytes =
   if nbytes < 0 then Error Errno.EINVAL
   else begin
     let addr = Cheri.Capability.cursor buf in
+    Cheri.Provenance.record_exercise buf ~address:addr;
     let staging = Bytes.create nbytes in
     guard_cap (fun () ->
         Cheri.Tagged_memory.blit_out t.mem ~cap:buf ~addr ~dst:staging
@@ -77,6 +79,7 @@ let ff_recvfrom t fd ~buf ~nbytes =
     guard_cap (fun () ->
         Cheri.Capability.check_access buf Cheri.Capability.Store ~addr
           ~len:nbytes);
+    Cheri.Provenance.record_exercise buf ~address:addr;
     match Stack.udp_recvfrom t.stack fd with
     | Error _ as e -> e
     | Ok None -> Ok None

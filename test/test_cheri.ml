@@ -274,7 +274,7 @@ let mem_unchecked () =
 let alloc_fixture () =
   let mem = Cheri.Tagged_memory.create ~size:0x10000 in
   let region = Cheri.Capability.root ~base:0x1000 ~length:0x1000 ~perms:Cheri.Perms.all in
-  (mem, Cheri.Alloc.create ~region)
+  (mem, Cheri.Alloc.create ~region ())
 
 let alloc_basic () =
   let _, a = alloc_fixture () in

@@ -16,4 +16,5 @@ let () =
       ("faults", Test_faults.suite);
       ("zero_copy", Test_zero_copy.suite);
       ("chaos", Test_chaos.suite);
+      ("audit", Test_audit.suite);
     ]
