@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock audit clean
+.PHONY: all build test check bench wallclock audit profile perfdiff clean
 
 all: build
 
@@ -23,15 +23,31 @@ wallclock:
 audit:
 	dune exec bin/netrepro.exe -- audit --quick
 
+# Wall-clock profile of the Fig. 4 run: hotspot table, capacity
+# watermarks and backpressure stalls on stdout, flamegraph-ready
+# PROFILE_fig4.folded and machine-readable PROFILE_fig4.profile.json
+# on disk.
+profile:
+	dune exec bin/netrepro.exe -- profile fig4 --quick
+
+# Compare the current Fig. 4 profile against the checked-in baseline;
+# exits non-zero when any hotspot regressed past 10% (event-count
+# drift is deterministic and flags on any machine; wall-time drift is
+# gated by noise floors).
+perfdiff: profile
+	dune exec bin/netrepro.exe -- perfdiff \
+	  baseline/fig4.profile.json PROFILE_fig4.profile.json --max-regress 10
+
 # Full gate: build, unit/property tests, then five smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
 # families in the Prometheus dump, Fig. 5 with flow tracing enabled
 # must produce an analyzable trace covering the measurement stages,
 # the seeded chaos run must attribute or recover every injected fault,
 # the capability audit must find zero invariant violations on the
-# stock scenarios, and the wall-clock bench must keep the ff_write
+# stock scenarios, the wall-clock bench must keep the ff_write
 # fast path within its minor-allocation budget (the zero-copy
-# regression gate).
+# regression gate), and the profiled Fig. 4 run must attribute its
+# wall time and hold against the checked-in perf baseline.
 check:
 	dune build
 	dune runtest
@@ -70,6 +86,14 @@ check:
 	  || { echo "check: audit found invariant violations"; exit 1; }
 	@echo "check: capability audit clean on stock scenarios"
 	dune exec bench/main.exe -- wallclock quick
+	$(MAKE) profile > /tmp/netrepro-check.profile.txt \
+	  || { cat /tmp/netrepro-check.profile.txt; \
+	       echo "check: profile run failed"; exit 1; }
+	@grep -q "attributed:" /tmp/netrepro-check.profile.txt \
+	  || { echo "check: profile produced no attribution line"; exit 1; }
+	@echo "check: fig4 profile attributed (see PROFILE_fig4.profile.json)"
+	$(MAKE) perfdiff
+	@echo "check: fig4 profile within 10% of checked-in baseline"
 	@echo "check: OK"
 
 clean:

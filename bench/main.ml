@@ -258,10 +258,56 @@ let measure_fig4_path ~iters =
         ("wall_seconds", Dsim.Json.Float wall);
       ] )
 
+(* Per-(component, stage) wall-time shares of one scenario run,
+   aggregated across cVM instances: where the simulator spends its host
+   time for this workload. Keys that held under 0.5% are folded into
+   "other" to keep the JSON diffable across machines. *)
+let profile_shares p =
+  let total = Dsim.Profile.total_self_ns p in
+  if total <= 0. then Dsim.Json.Obj []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (r : Dsim.Profile.row) ->
+        let key = r.Dsim.Profile.r_component ^ ":" ^ r.Dsim.Profile.r_stage in
+        (match Hashtbl.find_opt tbl key with
+        | None ->
+          order := key :: !order;
+          Hashtbl.replace tbl key r.Dsim.Profile.r_self_ns
+        | Some v -> Hashtbl.replace tbl key (v +. r.Dsim.Profile.r_self_ns)))
+      (Dsim.Profile.rows p);
+    let named, other =
+      List.fold_left
+        (fun (named, other) key ->
+          let share = 100. *. Hashtbl.find tbl key /. total in
+          if share >= 0.5 then ((key, Dsim.Json.Float share) :: named, other)
+          else (named, other +. share))
+        ([], 0.) !order
+    in
+    let fields =
+      List.sort
+        (fun (_, a) (_, b) ->
+          match (a, b) with
+          | Dsim.Json.Float x, Dsim.Json.Float y -> Float.compare y x
+          | _ -> 0)
+        named
+    in
+    Dsim.Json.Obj
+      (fields @ if other > 0. then [ ("other", Dsim.Json.Float other) ] else [])
+  end
+
 let wallclock_scenario ~name ~warmup ~duration built =
+  let p = Dsim.Profile.default in
+  Dsim.Profile.reset p;
+  Dsim.Profile.set_enabled p true;
   let t0 = Unix.gettimeofday () in
   let minor0 = Gc.minor_words () in
-  let samples = Core.Bandwidth.run built ~warmup ~duration () in
+  let samples =
+    Fun.protect
+      ~finally:(fun () -> Dsim.Profile.set_enabled p false)
+      (fun () -> Core.Bandwidth.run built ~warmup ~duration ())
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let minor = Gc.minor_words () -. minor0 in
   let events = Dsim.Engine.events_fired built.Core.Scenarios.engine in
@@ -288,6 +334,7 @@ let wallclock_scenario ~name ~warmup ~duration built =
         ( "minor_words_per_packet",
           Dsim.Json.Float (minor /. float_of_int (max packets 1)) );
         ("goodput_mbit_s", goodput);
+        ("wall_share_pct", profile_shares p);
       ] )
 
 let run_wallclock profile_name =

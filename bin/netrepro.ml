@@ -84,8 +84,17 @@ let with_telemetry t f =
     match t.timeseries_file with
     | None -> true
     | Some path ->
-      dump path (fun () ->
-          Dsim.Json.to_string (Dsim.Sampler.to_json Dsim.Sampler.default))
+      let ok =
+        dump path (fun () ->
+            Dsim.Json.to_string (Dsim.Sampler.to_json Dsim.Sampler.default))
+      in
+      if Dsim.Sampler.truncated Dsim.Sampler.default then
+        Printf.eprintf
+          "netrepro: WARNING: time series truncated — %d snapshot(s) dropped \
+           past row capacity; %s holds a prefix of the run\n"
+          (Dsim.Sampler.dropped Dsim.Sampler.default)
+          path;
+      ok
   in
   if ok_metrics && ok_trace && ok_flow && ok_timeseries then result else 1
 
@@ -127,13 +136,81 @@ let run_experiment ids quick iterations telemetry =
       0)
 
 let run_analyze file =
-  match Core.Analyze.of_file file with
-  | Ok t ->
-    print_string (Core.Analyze.render t);
+  let parsed =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | contents -> (
+      match Dsim.Json.parse contents with
+      | j -> Ok j
+      | exception Dsim.Json.Parse_error msg -> Error (file ^ ": " ^ msg))
+    | exception Sys_error msg -> Error msg
+  in
+  let result =
+    match parsed with
+    | Error _ as e -> e
+    | Ok j ->
+      if Core.Analyze.is_timeseries j then Core.Analyze.timeseries_summary j
+      else Result.map Core.Analyze.render (Core.Analyze.of_json j)
+  in
+  match result with
+  | Ok text ->
+    print_string text;
     0
   | Error msg ->
     Printf.eprintf "netrepro analyze: %s\n" msg;
     1
+
+let run_profile exp_id quick out_prefix =
+  match Core.Experiment.find exp_id with
+  | None ->
+    Printf.eprintf "unknown experiment: %s\nknown: %s\n" exp_id
+      (String.concat ", " (Core.Experiment.ids ()));
+    2
+  | Some spec ->
+    let profile =
+      if quick then Core.Experiment.quick else Core.Experiment.full
+    in
+    let r = Core.Profile_experiment.run ~profile spec in
+    Printf.printf "=== %s (%s): %s ===\n%s\n\n" spec.Core.Experiment.id
+      spec.Core.Experiment.paper_ref spec.Core.Experiment.title
+      r.Core.Profile_experiment.experiment_text;
+    print_string r.Core.Profile_experiment.hotspot_text;
+    print_newline ();
+    print_string r.Core.Profile_experiment.watermark_text;
+    flush stdout;
+    let prefix =
+      match out_prefix with
+      | Some p -> p
+      | None -> "PROFILE_" ^ exp_id
+    in
+    let dump path contents =
+      match write_file path contents with
+      | () ->
+        Printf.printf "wrote %s\n" path;
+        true
+      | exception Sys_error msg ->
+        Printf.eprintf "netrepro: cannot write %s\n" msg;
+        false
+    in
+    let ok_folded =
+      dump (prefix ^ ".folded") r.Core.Profile_experiment.folded
+    in
+    let ok_json =
+      dump
+        (prefix ^ ".profile.json")
+        (Dsim.Json.to_string r.Core.Profile_experiment.json)
+    in
+    if ok_folded && ok_json then 0 else 1
+
+let run_perfdiff old_file new_file max_regress =
+  match
+    Core.Perfdiff.compare_files ~max_regress_pct:max_regress old_file new_file
+  with
+  | Ok report ->
+    print_string report.Core.Perfdiff.text;
+    Core.Perfdiff.exit_code report
+  | Error msg ->
+    Printf.eprintf "netrepro perfdiff: %s\n" msg;
+    2
 
 let run_attacks () =
   List.iter
@@ -318,9 +395,72 @@ let analyze_file_arg =
 let analyze_cmd =
   let doc =
     "per-stage latency percentiles, end-to-end decomposition and drop \
-     attribution from a --flow-trace file"
+     attribution from a --flow-trace file; also summarizes --timeseries \
+     exports (row/series counts, truncation)"
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run_analyze $ analyze_file_arg)
+
+let profile_exp_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id to profile (e.g. fig4).")
+
+let profile_out_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"PREFIX"
+        ~doc:
+          "Output prefix for $(docv).folded and $(docv).profile.json \
+           (default PROFILE_<experiment>).")
+
+let profile_cmd =
+  let doc =
+    "run one experiment under the wall-clock profiler: print the \
+     per-(component, cvm, stage) hotspot table and the capacity \
+     watermark/backpressure report, and write the folded-stack dump \
+     (flamegraph input) plus the machine-readable .profile.json snapshot \
+     that $(b,netrepro perfdiff) compares against a baseline. Profiling \
+     never touches the virtual clock, so the experiment's own output is \
+     bit-identical to an unprofiled run."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ profile_exp_arg $ quick_flag $ profile_out_opt)
+
+let perfdiff_old_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OLD" ~doc:"Baseline snapshot (.profile.json or bench JSON).")
+
+let perfdiff_new_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW" ~doc:"Candidate snapshot to compare against $(i,OLD).")
+
+let perfdiff_max_regress_opt =
+  Arg.(
+    value & opt float 10.
+    & info [ "max-regress" ] ~docv:"PCT"
+        ~doc:"Regression threshold in percent (default 10).")
+
+let perfdiff_cmd =
+  let doc =
+    "compare two performance snapshots key by key and exit 1 when any \
+     key regressed past --max-regress (2 on I/O or parse errors). \
+     Profile snapshots diff per hotspot with noise floors on wall time; \
+     deterministic event counts flag on any drift. Other JSON snapshots \
+     diff every numeric leaf, with the improvement direction inferred \
+     from the leaf name."
+  in
+  Cmd.v
+    (Cmd.info "perfdiff" ~doc)
+    Term.(
+      const run_perfdiff $ perfdiff_old_arg $ perfdiff_new_arg
+      $ perfdiff_max_regress_opt)
 
 (* One top-level command per experiment, so
    `netrepro fig4 --metrics out.prom --trace-json out.json` works
@@ -353,5 +493,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          ([ run_cmd; list_cmd; attack_cmd; chaos_cmd; audit_cmd; analyze_cmd ]
+          ([
+             run_cmd;
+             list_cmd;
+             attack_cmd;
+             chaos_cmd;
+             audit_cmd;
+             analyze_cmd;
+             profile_cmd;
+             perfdiff_cmd;
+           ]
           @ experiment_cmds)))

@@ -314,3 +314,75 @@ let render t =
     Buffer.add_string buf
       (Report.table ~header:[ "stage"; "reason"; "dropped" ] ~rows));
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Time-series (--timeseries) summary                                   *)
+(* ------------------------------------------------------------------ *)
+
+let is_timeseries j =
+  Option.is_some (Dsim.Json.member "interval_ns" j)
+  && Option.is_some (Dsim.Json.member "rows" j)
+
+let timeseries_summary j =
+  if not (is_timeseries j) then
+    Error "not a sampler time-series file (no interval_ns/rows)"
+  else begin
+    let rows =
+      match Option.bind (Dsim.Json.member "rows" j) Dsim.Json.to_list with
+      | Some l -> l
+      | None -> []
+    in
+    let ival_ns =
+      match Dsim.Json.member "interval_ns" j with
+      | Some v -> Option.value ~default:0. (json_float v)
+      | None -> 0.
+    in
+    let truncated =
+      match Dsim.Json.member "truncated" j with
+      | Some (Dsim.Json.Bool b) -> b
+      | _ -> false
+    in
+    let dropped =
+      match Option.bind (Dsim.Json.member "dropped_rows" j) json_int with
+      | Some d -> d
+      | None -> 0
+    in
+    let capacity =
+      Option.bind (Dsim.Json.member "capacity" j) json_int
+    in
+    let span_ns =
+      match (rows, List.rev rows) with
+      | first :: _, last :: _ ->
+        let at r =
+          Option.value ~default:0.
+            (Option.bind (Dsim.Json.member "at_ns" r) json_float)
+        in
+        at last -. at first
+      | _ -> 0.
+    in
+    let series =
+      match List.rev rows with
+      | last :: _ -> (
+        match Option.bind (Dsim.Json.member "metrics" last) Dsim.Json.to_list with
+        | Some ms -> List.length ms
+        | None -> 0)
+      | [] -> 0
+    in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "Time series: %d rows, %d series/row, interval %.3f ms, span %.3f ms\n"
+         (List.length rows) series (ival_ns /. 1e6) (span_ns /. 1e6));
+    (match capacity with
+    | Some c -> Buffer.add_string buf (Printf.sprintf "Row capacity: %d\n" c)
+    | None -> ());
+    if truncated then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "WARNING: series TRUNCATED — %d snapshot(s) past capacity were \
+            dropped; the recorded rows are a prefix of the run, not the \
+            whole run.\n"
+           dropped)
+    else Buffer.add_string buf "No truncation: the series covers the run.\n";
+    Ok (Buffer.contents buf)
+  end

@@ -47,3 +47,13 @@ val groups : t -> group list
 
 val render : t -> string
 (** The full human-readable report. *)
+
+(** {1 Sampler time-series files} *)
+
+val is_timeseries : Dsim.Json.t -> bool
+(** Does the value look like a [--timeseries] export
+    ([interval_ns] + [rows]) rather than a flow trace? *)
+
+val timeseries_summary : Dsim.Json.t -> (string, string) result
+(** Row/series counts, interval and span, and a prominent warning when
+    the sampler hit capacity and dropped snapshots ([truncated]). *)

@@ -5,6 +5,9 @@ module Time = Dsim.Time
 module Engine = Dsim.Engine
 module Sup = Capvm.Supervisor
 
+let k_audit_arm =
+  Dsim.Profile.(key default) ~component:"audit" ~cvm:"-" ~stage:"arm"
+
 type profile = {
   warmup : Dsim.Time.t;
   duration : Dsim.Time.t;
@@ -136,8 +139,8 @@ let run_chaos_section profile ~seed =
   in
   engine_ref := Some built.Scenarios.engine;
   ignore
-    (Engine.schedule_at built.Scenarios.engine ~at:(frac profile 0.35)
-       (fun () -> due := 1));
+    (Engine.schedule_at_l built.Scenarios.engine ~at:(frac profile 0.35)
+       ~label:k_audit_arm (fun () -> due := 1));
   drive built profile;
   let violations = Au.violations au in
   let cap_targets =

@@ -4,6 +4,14 @@ module Time = Dsim.Time
 module Engine = Dsim.Engine
 module Sup = Capvm.Supervisor
 
+let k_chaos stage =
+  Dsim.Profile.(key default) ~component:"chaos" ~cvm:"-" ~stage
+
+let k_arm = k_chaos "warmup_arm"
+let k_tick = k_chaos "sample_tick"
+let k_inject = k_chaos "inject"
+let k_heartbeat = k_chaos "heartbeat"
+
 type profile = {
   warmup : Dsim.Time.t;
   duration : Dsim.Time.t;
@@ -95,7 +103,7 @@ let drive built profile ~after_warmup ~on_tick =
   let t0 = profile.warmup in
   let t_end = Time.add t0 profile.duration in
   ignore
-    (Engine.schedule_at engine ~at:t0 (fun () ->
+    (Engine.schedule_at_l engine ~at:t0 ~label:k_arm (fun () ->
          List.iter
            (fun f -> ignore (f.Scenarios.take_bytes ()))
            built.Scenarios.flows;
@@ -116,10 +124,11 @@ let drive built profile ~after_warmup ~on_tick =
       deltas;
     on_tick ~now_ns deltas;
     if Time.(now < t_end) then
-      ignore (Engine.schedule engine ~delay:profile.sample_every (tick now))
+      ignore (Engine.schedule_l engine ~delay:profile.sample_every ~label:k_tick (tick now))
   in
   ignore
-    (Engine.schedule_at engine ~at:(Time.add t0 profile.sample_every) (tick t0));
+    (Engine.schedule_at_l engine ~at:(Time.add t0 profile.sample_every)
+       ~label:k_tick (tick t0));
   Engine.run ~until:t_end engine;
   built.Scenarios.stop ();
   List.map (fun (l, r) -> (l, List.rev !r)) samples
@@ -274,15 +283,15 @@ let phase_a ch profile ~seed =
   let pool = (List.hd built.Scenarios.dut_netifs).Topology.pool in
   let stolen = ref [] in
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.30) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.30) ~label:k_inject (fun () ->
          let at_ns = Time.to_float_ns (Engine.now engine) in
          flap := Some (Ch.inject ch Ch.Link_flap ~at_ns ~target:"link0", at_ns);
          Nic.Link.set_up link0 false;
          ignore
-           (Engine.schedule engine ~delay:profile.flap_down (fun () ->
+           (Engine.schedule_l engine ~delay:profile.flap_down ~label:k_inject (fun () ->
                 Nic.Link.set_up link0 true))));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.55) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.55) ~label:k_inject (fun () ->
          let at_ns = Time.to_float_ns (Engine.now engine) in
          let id =
            Ch.inject ch Ch.Mbuf_exhaust ~at_ns
@@ -297,19 +306,19 @@ let phase_a ch profile ~seed =
          in
          steal ();
          ignore
-           (Engine.schedule engine ~delay:profile.mbuf_window (fun () ->
+           (Engine.schedule_l engine ~delay:profile.mbuf_window ~label:k_inject (fun () ->
                 List.iter Dpdk.Mbuf.free !stolen;
                 stolen := [];
                 (* Only now can the watcher call it recovered. *)
                 mbuf := Some (id, at_ns)))));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.18) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.18) ~label:k_inject (fun () ->
          ci.ci_arm victim));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.45) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.45) ~label:k_inject (fun () ->
          ci.ci_arm victim));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.80) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.80) ~label:k_inject (fun () ->
          Ch.set_armed ch false));
   (* Flap and exhaustion count as recovered when the victim moves
      application bytes again after the outage ends. *)
@@ -454,17 +463,17 @@ let phase_b ch profile ~seed =
     if Ch.armed ch && Sup.state sup ~cvm:victim_cvm = Sup.Running then
       ignore (Capvm.Musl_shim.clock_gettime shim);
     if Time.(Engine.now engine < t_end) then
-      ignore (Engine.schedule engine ~delay:profile.eintr_every heartbeat)
+      ignore (Engine.schedule_l engine ~delay:profile.eintr_every ~label:k_heartbeat heartbeat)
   in
-  ignore (Engine.schedule_at engine ~at:profile.warmup heartbeat);
+  ignore (Engine.schedule_at_l engine ~at:profile.warmup ~label:k_heartbeat heartbeat);
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.25) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.25) ~label:k_inject (fun () ->
          ci.ci_arm victim));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.60) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.60) ~label:k_inject (fun () ->
          ci.ci_arm victim));
   ignore
-    (Engine.schedule_at engine ~at:(frac profile 0.80) (fun () ->
+    (Engine.schedule_at_l engine ~at:(frac profile 0.80) ~label:k_inject (fun () ->
          Ch.set_armed ch false));
   let samples =
     drive built profile

@@ -73,6 +73,16 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
       ~lo:50. ~ratio:1.3 ~buckets:48 "ff_write_latency_ns"
   in
   let span_tid = Dsim.Span.track Dsim.Span.default label in
+  (* Fig. 4's wall time flows through these handlers: each scheduling
+     point in the measured ff_write round trip carries its own stage
+     key so the profiler can split the path. *)
+  let mk stage = Dsim.Profile.(key default) ~component:"measure" ~cvm:label ~stage in
+  let k_clock_ret = mk "clock_ret" in
+  let k_ff_done = mk "ff_write_done" in
+  let k_tramp_in = mk "tramp_in" in
+  let k_hold = mk "hold" in
+  let k_tramp_out = mk "tramp_out" in
+  let k_next = mk "next_iter" in
   let mt, fd, buf = setup_connected ~seed ~mode ~write_size () in
   let built = mt.Scenarios.mt_built in
   let engine = built.Scenarios.engine in
@@ -130,8 +140,8 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
       (* Same protection domain as the stack: plain call. *)
       ignore (Netstack.Ff_api.ff_write ff fd ~buf ~nbytes:write_size);
       ignore
-        (Dsim.Engine.schedule engine
-           ~delay:(Dsim.Time.of_float_ns ff_write_model_ns)
+        (Dsim.Engine.schedule_l engine
+           ~delay:(Dsim.Time.of_float_ns ff_write_model_ns) ~label:k_ff_done
            (fun () ->
              Dsim.Flowtrace.hop flow Ff_write ~at:(Dsim.Engine.now engine);
              k ()))
@@ -139,8 +149,9 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
       (* Cross into cVM1, take the shared mutex, run the real ff_write
          (whose TCP output work extends the hold), come back. *)
       ignore
-        (Dsim.Engine.schedule engine
+        (Dsim.Engine.schedule_l engine
            ~delay:(Dsim.Time.of_float_ns cm.Dsim.Cost_model.tramp_oneway_ns)
+           ~label:k_tramp_in
            (fun () ->
              Dsim.Flowtrace.hop flow Tramp_in ~at:(Dsim.Engine.now engine);
              Capvm.Umtx.acquire mu ~flow ~owner:"cVM2-measured"
@@ -159,17 +170,18 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
                    cm.Dsim.Cost_model.mutex_uncontended_ns +. ff_write_model_ns
                  in
                  ignore
-                   (Dsim.Engine.schedule engine
-                      ~delay:(Dsim.Time.of_float_ns hold_ns)
+                   (Dsim.Engine.schedule_l engine
+                      ~delay:(Dsim.Time.of_float_ns hold_ns) ~label:k_hold
                       (fun () ->
                         Dsim.Flowtrace.hop flow Ff_write
                           ~at:(Dsim.Engine.now engine);
                         Capvm.Umtx.release mu;
                         ignore
-                          (Dsim.Engine.schedule engine
+                          (Dsim.Engine.schedule_l engine
                              ~delay:
                                (Dsim.Time.of_float_ns
                                   cm.Dsim.Cost_model.tramp_oneway_ns)
+                             ~label:k_tramp_out
                              (fun () ->
                                Dsim.Flowtrace.hop flow Tramp_out
                                  ~at:(Dsim.Engine.now engine);
@@ -199,7 +211,8 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
           App
       in
       ignore
-        (Dsim.Engine.schedule engine ~delay:(Dsim.Time.of_float_ns c1) (fun () ->
+        (Dsim.Engine.schedule_l engine ~delay:(Dsim.Time.of_float_ns c1)
+           ~label:k_clock_ret (fun () ->
              Dsim.Flowtrace.hop flow Clock_ret ~at:(Dsim.Engine.now engine);
              do_ff_write flow (fun () ->
                  let v2, c2 = clock () in
@@ -210,8 +223,9 @@ let run ?(iterations = 100_000) ?(write_size = 64) ?(interval = Dsim.Time.us 100
                       ~at:(Dsim.Engine.now engine))
                    sp;
                  ignore
-                   (Dsim.Engine.schedule engine
+                   (Dsim.Engine.schedule_l engine
                       ~delay:(Dsim.Time.add interval (Dsim.Time.of_float_ns c2))
+                      ~label:k_next
                       (fun () -> iterate (remaining - 1))))))
     end
   in

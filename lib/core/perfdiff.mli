@@ -1,0 +1,58 @@
+(** Perf-regression differ over profile / bench JSON snapshots.
+
+    [netrepro perfdiff OLD.json NEW.json] compares two machine-readable
+    performance snapshots key by key and exits non-zero when any key
+    regressed past the threshold — the CI gate every scale PR runs
+    against the checked-in Fig. 4 baseline.
+
+    Two input shapes are understood:
+
+    - {b Profile snapshots} ([FILE.profile.json], written by
+      [netrepro profile]): compared per (component, cvm, stage) hotspot.
+      Event counts are deterministic per seed, so any change beyond the
+      threshold flags — it means the simulation did different work, on
+      any machine. Wall-time (ns/event) comparisons are gated by noise
+      floors (the key must have held ≥ {!share_floor_pct} of old self
+      time {e and} grown by ≥ {!abs_floor_ns}) so cross-machine jitter
+      in cold keys cannot fail CI.
+
+    - {b Generic snapshots} (e.g. [BENCH_wallclock.json]): every numeric
+      leaf is flattened to a dotted path; the leaf name decides the
+      improvement direction (throughput-like keys are better up,
+      latency/allocation-like keys are better down, anything else is
+      informational). *)
+
+type direction = Higher_better | Lower_better | Informational
+
+type delta = {
+  d_key : string;  (** Dotted path or [component:cvm:stage/metric]. *)
+  d_old : float;
+  d_new : float;
+  d_pct : float;  (** Signed percentage change, + = increased. *)
+  d_dir : direction;
+  d_regression : bool;
+}
+
+type report = {
+  deltas : delta list;  (** Every compared key, worst regression first. *)
+  regressions : delta list;
+  text : string;  (** Rendered table + verdict. *)
+}
+
+val share_floor_pct : float
+(** A profile wall-time key must have held at least this share of old
+    total self time before its ns/event movement can regress (2%). *)
+
+val abs_floor_ns : float
+(** ... and its self time must have grown by at least this much (5 ms). *)
+
+val compare_json :
+  ?max_regress_pct:float -> Dsim.Json.t -> Dsim.Json.t -> (report, string) result
+(** Default threshold 10%. [Error] on snapshots with no comparable keys. *)
+
+val compare_files :
+  ?max_regress_pct:float -> string -> string -> (report, string) result
+
+val exit_code : report -> int
+(** 0 when no regressions, 1 otherwise (2 is reserved for I/O and
+    parse errors, reported through [Error]). *)

@@ -1,0 +1,41 @@
+type report = {
+  exp_id : string;
+  experiment_text : string;
+  hotspot_text : string;
+  watermark_text : string;
+  folded : string;
+  attributed_pct : float;
+  json : Dsim.Json.t;
+}
+
+let run ?(profile = Experiment.quick) (spec : Experiment.spec) =
+  let p = Dsim.Profile.default and w = Dsim.Watermark.default in
+  Dsim.Profile.reset p;
+  Dsim.Watermark.reset w;
+  Dsim.Profile.set_enabled p true;
+  Dsim.Watermark.set_enabled w true;
+  let out =
+    Fun.protect
+      ~finally:(fun () ->
+        Dsim.Profile.set_enabled p false;
+        Dsim.Watermark.set_enabled w false)
+      (fun () -> spec.Experiment.report profile)
+  in
+  let profile_json =
+    match Dsim.Profile.to_json p with
+    | Dsim.Json.Obj fields ->
+      Dsim.Json.Obj
+        (("experiment", Dsim.Json.String spec.Experiment.id)
+        :: ("schema", Dsim.Json.String "netrepro-profile/1")
+        :: (fields @ [ ("watermarks", Dsim.Watermark.to_json w) ]))
+    | other -> other
+  in
+  {
+    exp_id = spec.Experiment.id;
+    experiment_text = out.Experiment.text;
+    hotspot_text = Dsim.Profile.render p;
+    watermark_text = Dsim.Watermark.render w;
+    folded = Dsim.Profile.folded p;
+    attributed_pct = Dsim.Profile.attributed_pct p;
+    json = profile_json;
+  }

@@ -1,0 +1,28 @@
+(** Run one registered experiment under the wall-clock profiler.
+
+    [netrepro profile <exp>] dispatches here: the global
+    {!Dsim.Profile} and {!Dsim.Watermark} registries are reset and
+    enabled around the experiment's normal runner, then rendered into
+    the hotspot table, the capacity/stall report, the folded-stack
+    dump, and the [FILE.profile.json] snapshot [netrepro perfdiff]
+    diffs against a baseline.
+
+    Profiling never touches the virtual clock, so the experiment's own
+    output (medians, goldens) is bit-identical to an unprofiled run —
+    regression-tested in [test/test_profile.ml]. *)
+
+type report = {
+  exp_id : string;
+  experiment_text : string;  (** The experiment's normal rendering. *)
+  hotspot_text : string;  (** {!Dsim.Profile.render} of the run. *)
+  watermark_text : string;  (** {!Dsim.Watermark.render} of the run. *)
+  folded : string;  (** Folded-stack lines for flamegraph tooling. *)
+  attributed_pct : float;  (** Acceptance gate: must be ≥ 95 on fig4. *)
+  json : Dsim.Json.t;
+      (** [{"experiment", "schema", ...profile fields...,
+          "watermarks"}] — the [.profile.json] payload. *)
+}
+
+val run : ?profile:Experiment.profile -> Experiment.spec -> report
+(** Default profile {!Experiment.quick}. Always disables the profiler
+    and watermark registries again, even if the runner raises. *)

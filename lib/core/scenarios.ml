@@ -46,6 +46,14 @@ let supervised_stack_loop sup ~cvm ~running stack =
   let engine = Netstack.Stack.engine stack in
   let gap = (Netstack.Stack.config stack).Netstack.Stack.loop_gap in
   let down_poll = Dsim.Time.us 20 in
+  let cvm_name = Capvm.Cvm.name cvm in
+  let k_loop =
+    Dsim.Profile.(key default) ~component:"netstack" ~cvm:cvm_name ~stage:"loop"
+  in
+  let k_poll =
+    Dsim.Profile.(key default) ~component:"netstack" ~cvm:cvm_name
+      ~stage:"down_poll"
+  in
   Capvm.Supervisor.register sup cvm;
   let rec iter () =
     if !running then
@@ -58,12 +66,13 @@ let supervised_stack_loop sup ~cvm ~running stack =
         with
         | Capvm.Supervisor.Done work_ns ->
           ignore
-            (Dsim.Engine.schedule engine
+            (Dsim.Engine.schedule_l engine
                ~delay:(Dsim.Time.add (Dsim.Time.of_float_ns work_ns) gap)
-               iter)
+               ~label:k_loop iter)
         | Capvm.Supervisor.Faulted _ | Capvm.Supervisor.Refused _ ->
-          ignore (Dsim.Engine.schedule engine ~delay:down_poll iter))
-      | _ -> ignore (Dsim.Engine.schedule engine ~delay:down_poll iter)
+          ignore (Dsim.Engine.schedule_l engine ~delay:down_poll ~label:k_poll iter))
+      | _ ->
+        ignore (Dsim.Engine.schedule_l engine ~delay:down_poll ~label:k_poll iter)
   in
   iter ()
 
@@ -301,16 +310,24 @@ let s2_stack_driver sp mu ~running =
   let engine = sp.sp_engine in
   let cost = Topology.node_cost sp.sp_dut in
   let gap = Dsim.Time.of_float_ns cost.Dsim.Cost_model.stack_loop_gap_ns in
+  let k_hold =
+    Dsim.Profile.(key default) ~component:"netstack" ~cvm:"cVM1"
+      ~stage:"loop_hold"
+  in
+  let k_gap =
+    Dsim.Profile.(key default) ~component:"netstack" ~cvm:"cVM1"
+      ~stage:"loop_gap"
+  in
   let rec iter () =
     if !running then
       Capvm.Umtx.acquire mu ~owner:"cVM1-loop" (fun ~wait_ns:_ ->
           let work_ns = Netstack.Stack.loop_once sp.sp_dnif.Topology.stack in
           ignore
-            (Dsim.Engine.schedule engine
-               ~delay:(Dsim.Time.of_float_ns work_ns)
+            (Dsim.Engine.schedule_l engine
+               ~delay:(Dsim.Time.of_float_ns work_ns) ~label:k_hold
                (fun () ->
                  Capvm.Umtx.release mu;
-                 ignore (Dsim.Engine.schedule engine ~delay:gap iter))))
+                 ignore (Dsim.Engine.schedule_l engine ~delay:gap ~label:k_gap iter))))
   in
   iter ()
 
@@ -327,6 +344,14 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
     (Netstack.Stack.config sp.sp_dnif.Topology.stack).Netstack.Stack.per_packet_ns
   in
   let app_base_ns = 800. in
+  let k_hold =
+    Dsim.Profile.(key default) ~component:"app"
+      ~cvm:(Capvm.Cvm.name app_cvm) ~stage:"step_hold"
+  in
+  let k_iter =
+    Dsim.Profile.(key default) ~component:"app"
+      ~cvm:(Capvm.Cvm.name app_cvm) ~stage:"step"
+  in
   let rec iter () =
     if !running then begin
       (* One trace per app step: App origin, then the umtx wait and the
@@ -359,13 +384,15 @@ let s2_app_driver sp mu ~running ~app_cvm ~interval ~extra_tramp step =
             +. (per_seg *. float_of_int tx_delta)
           in
           ignore
-            (Dsim.Engine.schedule engine
-               ~delay:(Dsim.Time.of_float_ns work_ns)
+            (Dsim.Engine.schedule_l engine
+               ~delay:(Dsim.Time.of_float_ns work_ns) ~label:k_hold
                (fun () ->
                  Capvm.Umtx.release mu;
                  Dsim.Flowtrace.hop flow Tramp_out
                    ~at:(Dsim.Engine.now engine);
-                 ignore (Dsim.Engine.schedule engine ~delay:interval iter))))
+                 ignore
+                   (Dsim.Engine.schedule_l engine ~delay:interval ~label:k_iter
+                      iter))))
     end
   in
   iter ()
@@ -387,11 +414,18 @@ let s2_app_driver_supervised sp mu sup ~running ~app_cvm ~interval ~extra_tramp
   in
   let app_base_ns = 800. in
   let name = Capvm.Cvm.name app_cvm in
+  let k_hold =
+    Dsim.Profile.(key default) ~component:"app" ~cvm:name ~stage:"step_hold"
+  in
+  let k_iter =
+    Dsim.Profile.(key default) ~component:"app" ~cvm:name ~stage:"step"
+  in
   let cur = ref (make_app ()) in
   let iter_ref = ref (fun () -> ()) in
   let resched () =
     ignore
-      (Dsim.Engine.schedule engine ~delay:interval (fun () -> !iter_ref ()))
+      (Dsim.Engine.schedule_l engine ~delay:interval ~label:k_iter (fun () ->
+           !iter_ref ()))
   in
   Capvm.Supervisor.register sup app_cvm;
   Capvm.Supervisor.add_cleanup sup ~cvm:app_cvm (fun () ->
@@ -419,8 +453,8 @@ let s2_app_driver_supervised sp mu sup ~running ~app_cvm ~interval ~extra_tramp
       +. (per_seg *. float_of_int tx_delta)
     in
     ignore
-      (Dsim.Engine.schedule engine
-         ~delay:(Dsim.Time.of_float_ns work_ns)
+      (Dsim.Engine.schedule_l engine
+         ~delay:(Dsim.Time.of_float_ns work_ns) ~label:k_hold
          (fun () ->
            Capvm.Umtx.release mu;
            Dsim.Flowtrace.hop flow Tramp_out ~at:(Dsim.Engine.now engine);
@@ -650,6 +684,10 @@ let build_udp_blast ?(seed = 47L) ?(payload = 1472) ~offered_mbit () =
     Dsim.Time.of_float_ns (float_of_int payload *. 8. /. (offered_mbit *. 1e6) *. 1e9)
   in
   let datagram = Bytes.make payload 'u' in
+  let k_tick =
+    Dsim.Profile.(key default) ~component:"app" ~cvm:"udp_source"
+      ~stage:"tick"
+  in
   let rec tick () =
     if !running then begin
       offered := !offered + payload;
@@ -658,7 +696,7 @@ let build_udp_blast ?(seed = 47L) ?(payload = 1472) ~offered_mbit () =
            ~buf:datagram
        with
       | Ok () | Error _ -> ());
-      ignore (Dsim.Engine.schedule engine ~delay:interval tick)
+      ignore (Dsim.Engine.schedule_l engine ~delay:interval ~label:k_tick tick)
     end
   in
   tick ();

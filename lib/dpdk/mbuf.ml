@@ -6,6 +6,7 @@ type pool = {
   mutable alloc_failures : int;
   in_use_metric : Dsim.Metrics.gauge;
   alloc_fail_metric : Dsim.Metrics.counter;
+  wm : Dsim.Watermark.cell;
 }
 
 and t = {
@@ -40,6 +41,9 @@ let pool_create eal ~name ~n ~buf_len ?(headroom = 128) () =
         Dsim.Metrics.counter Dsim.Metrics.default
           ~help:"Allocation attempts refused because the pool was empty."
           ~labels:[ ("pool", name) ] "dpdk_mbuf_alloc_failures_total";
+      wm =
+        Dsim.Watermark.(cell default) ~capacity:n
+          ~labels:[ ("pool", name) ] "mbuf_pool";
     }
   in
   for i = 0 to n - 1 do
@@ -84,6 +88,7 @@ let alloc p =
        [None] into a typed drop, never an exception. *)
     p.alloc_failures <- p.alloc_failures + 1;
     Dsim.Metrics.incr p.alloc_fail_metric;
+    Dsim.Watermark.(stall p.wm Pool_exhausted);
     None
   end
   else begin
@@ -91,6 +96,7 @@ let alloc p =
     m.in_use <- true;
     reset m;
     Dsim.Metrics.add p.in_use_metric 1;
+    Dsim.Watermark.observe p.wm (p.capacity - Queue.length p.free_list);
     Some m
   end
 
@@ -106,7 +112,9 @@ let free m =
      buffer must not pin trace records live across reuse. *)
   m.flow <- None;
   Dsim.Metrics.add m.pool.in_use_metric (-1);
-  Queue.push m m.pool.free_list
+  Queue.push m m.pool.free_list;
+  Dsim.Watermark.observe m.pool.wm
+    (m.pool.capacity - Queue.length m.pool.free_list)
 
 let buf_addr m = m.buf_addr
 let buf_len m = m.buf_len

@@ -2,6 +2,7 @@ type handle = {
   at : Time.t;
   seq : int;
   fn : unit -> unit;
+  label : Profile.key;
   owner : t;
   mutable cancelled : bool;
   mutable fired : bool;
@@ -13,29 +14,42 @@ and t = {
   mutable next_seq : int;
   mutable live : int;
   mutable fired_total : int;
+  wm_heap : Watermark.cell;
 }
 
 let cmp_event a b =
   let c = Time.compare a.at b.at in
   if c <> 0 then c else compare a.seq b.seq
 
+(* All engines share one heap-depth cell: watermarks are only armed
+   around a profiled run, which drives a single engine. The growth
+   alarm fires at successive doublings from 2048 pending entries. *)
+let wm_heap_cell () =
+  Watermark.cell Watermark.default ~growth_alarm:2048 "event_heap"
+
 let create () =
   { clock = Time.zero; heap = Heap.create ~cmp:cmp_event; next_seq = 0;
-    live = 0; fired_total = 0 }
+    live = 0; fired_total = 0; wm_heap = wm_heap_cell () }
 
 let now t = t.clock
 
-let schedule_at t ~at fn =
+let schedule_at_l t ~at ~label fn =
   let at = Time.max at t.clock in
   let h =
-    { at; seq = t.next_seq; fn; owner = t; cancelled = false; fired = false }
+    { at; seq = t.next_seq; fn; label; owner = t; cancelled = false;
+      fired = false }
   in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Heap.push t.heap h;
+  if Watermark.hot () then Watermark.observe t.wm_heap (Heap.size t.heap);
   h
 
-let schedule t ~delay fn = schedule_at t ~at:(Time.add t.clock delay) fn
+let schedule_l t ~delay ~label fn =
+  schedule_at_l t ~at:(Time.add t.clock delay) ~label fn
+
+let schedule_at t ~at fn = schedule_at_l t ~at ~label:Profile.unattributed fn
+let schedule t ~delay fn = schedule_l t ~delay ~label:Profile.unattributed fn
 
 (* Rebuild the heap without cancelled entries. Re-pushing preserves the
    (time, seq) order, so compaction cannot perturb event ordering. *)
@@ -84,7 +98,15 @@ let rec step t =
       t.clock <- h.at;
       h.fired <- true;
       t.fired_total <- t.fired_total + 1;
-      h.fn ();
+      if Profile.hot () then begin
+        Profile.enter_event h.label;
+        match h.fn () with
+        | () -> Profile.exit_event ()
+        | exception e ->
+          Profile.exit_event ();
+          raise e
+      end
+      else h.fn ();
       true
     end
   end

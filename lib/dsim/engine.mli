@@ -18,10 +18,24 @@ val now : t -> Time.t
 
 val schedule_at : t -> at:Time.t -> (unit -> unit) -> handle
 (** Schedule at an absolute time. Times in the past fire "now" (at the
-    current clock value), never before already-pending earlier events. *)
+    current clock value), never before already-pending earlier events.
+    Wall time spent in the handler is charged to
+    {!Profile.unattributed} — prefer {!schedule_at_l}. *)
 
 val schedule : t -> delay:Time.t -> (unit -> unit) -> handle
-(** Schedule relative to {!now}. *)
+(** Schedule relative to {!now}; unattributed like {!schedule_at}. *)
+
+val schedule_at_l :
+  t -> at:Time.t -> label:Profile.key -> (unit -> unit) -> handle
+(** {!schedule_at} with a profiler attribution key: when profiling is
+    enabled, the dispatch loop charges the handler's wall time to
+    [label]. The label argument is non-optional so labelled call sites
+    allocate no [Some] cell per event — virtual-time behaviour is
+    identical to {!schedule_at} in every case. *)
+
+val schedule_l :
+  t -> delay:Time.t -> label:Profile.key -> (unit -> unit) -> handle
+(** {!schedule} with an attribution key. *)
 
 val cancel : handle -> unit
 (** Idempotent; cancelling a fired event is a no-op. When cancelled

@@ -235,12 +235,31 @@ let reset t =
 (* Prometheus text exposition                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Exposition-format escaping — [String.escaped] is the wrong tool: it
+   would also mangle tabs and any non-ASCII label value (UTF-8 bytes
+   become \ddd). Label values escape backslash, double-quote, and
+   newline; HELP text escapes backslash and newline only. *)
+let prom_escape ~quote s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let prom_labels = function
   | [] -> ""
   | labels ->
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (String.escaped v)) labels)
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" k (prom_escape ~quote:true v))
+           labels)
     ^ "}"
 
 let prom_float f =
@@ -272,7 +291,12 @@ let to_prometheus t =
         | Some m -> m
         | None -> ("untyped", "")
       in
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      (* Every family gets its HELP/TYPE pair; an empty help renders as
+         a bare "# HELP name", which the format allows. *)
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (prom_escape ~quote:false help))
+      else Buffer.add_string buf (Printf.sprintf "# HELP %s\n" name);
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
       List.iter
         (fun s ->

@@ -9,10 +9,13 @@ type t = {
   capacity : int;
   mutable rows_rev : row list;
   mutable n : int;
+  mutable truncated : bool;
+  mutable dropped : int;
 }
 
 let create ?(enabled = false) ?(interval = Time.ms 10) ?(capacity = 4096) () =
-  { on = enabled; ival = interval; capacity; rows_rev = []; n = 0 }
+  { on = enabled; ival = interval; capacity; rows_rev = []; n = 0;
+    truncated = false; dropped = 0 }
 
 let default = create ()
 
@@ -26,26 +29,46 @@ let set_interval t i =
 
 let clear t =
   t.rows_rev <- [];
-  t.n <- 0
+  t.n <- 0;
+  t.truncated <- false;
+  t.dropped <- 0
+
+let truncated t = t.truncated
+let dropped t = t.dropped
+
+let tick_label =
+  Profile.key Profile.default ~component:"dsim" ~cvm:"-" ~stage:"sampler_tick"
 
 let attach t engine metrics =
   if t.on then begin
     let rec tick () =
-      if t.on && t.n < t.capacity then begin
-        t.rows_rev <-
-          {
-            at_ns = Time.to_float_ns (Engine.now engine);
-            values = Metrics.snapshot metrics;
-          }
-          :: t.rows_rev;
-        t.n <- t.n + 1;
+      if t.on then begin
+        (* Mirror capacity watermarks first so this snapshot carries
+           their freshest values. *)
+        Watermark.publish Watermark.default metrics;
+        if t.n < t.capacity then begin
+          t.rows_rev <-
+            {
+              at_ns = Time.to_float_ns (Engine.now engine);
+              values = Metrics.snapshot metrics;
+            }
+            :: t.rows_rev;
+          t.n <- t.n + 1
+        end
+        else begin
+          (* Capacity reached: keep ticking (so the loss is counted and
+             reported) but record nothing — silent truncation hid real
+             ramp tails before this flag existed. *)
+          t.truncated <- true;
+          t.dropped <- t.dropped + 1
+        end;
         (* Reschedule only while something else is pending: a sampler
            must never be what keeps the simulation running. *)
-        if Engine.pending_count engine > 0 && t.n < t.capacity then
-          ignore (Engine.schedule engine ~delay:t.ival tick)
+        if Engine.pending_count engine > 0 then
+          ignore (Engine.schedule_l engine ~delay:t.ival ~label:tick_label tick)
       end
     in
-    ignore (Engine.schedule engine ~delay:t.ival tick)
+    ignore (Engine.schedule_l engine ~delay:t.ival ~label:tick_label tick)
   end
 
 let rows t = List.rev t.rows_rev
@@ -78,5 +101,8 @@ let to_json t =
   Json.Obj
     [
       ("interval_ns", Json.Float (Time.to_float_ns t.ival));
+      ("capacity", Json.Int t.capacity);
+      ("truncated", Json.Bool t.truncated);
+      ("dropped_rows", Json.Int t.dropped);
       ("rows", Json.List (List.map row_json (rows t)));
     ]

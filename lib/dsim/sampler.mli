@@ -30,6 +30,13 @@ val interval : t -> Time.t
 val set_interval : t -> Time.t -> unit
 val clear : t -> unit
 
+val truncated : t -> bool
+(** True once the row capacity was reached while samples were still
+    due: the recorded series is a prefix, not the whole run. *)
+
+val dropped : t -> int
+(** Snapshots that fell past capacity (each would have been a row). *)
+
 val attach : t -> Engine.t -> Metrics.t -> unit
 (** Begin sampling [Metrics] rows on [Engine]'s clock. No-op when
     disabled; call after enabling and before the run. *)
@@ -38,3 +45,6 @@ val rows : t -> row list
 (** Snapshot rows, oldest first. *)
 
 val to_json : t -> Json.t
+(** [{"interval_ns", "capacity", "truncated", "dropped_rows",
+    "rows": [...]}] — consumers must check [truncated] before treating
+    the series as covering the full run. *)

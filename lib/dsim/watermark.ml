@@ -1,0 +1,250 @@
+type switch = { mutable on : bool }
+
+type stall = Ring_full | Pool_exhausted | Heap_growth
+
+let stall_name = function
+  | Ring_full -> "ring_full"
+  | Pool_exhausted -> "pool_exhausted"
+  | Heap_growth -> "heap_growth"
+
+type cell = {
+  w_sw : switch;
+  w_name : string;
+  w_labels : (string * string) list;
+  w_capacity : int option;
+  w_growth_alarm : int; (* 0 = unarmed *)
+  mutable w_current : int;
+  mutable w_high : int;
+  mutable w_alarm_at : int;
+  w_owner : t;
+}
+
+and stall_rec = {
+  st_cell : cell;
+  st_kind : stall;
+  mutable st_count : int;
+  mutable st_published : int;
+}
+
+and t = {
+  sw : switch;
+  cells : (string, cell) Hashtbl.t;
+  mutable cell_order : cell list; (* registration order, reversed *)
+  stalls : (string, stall_rec) Hashtbl.t;
+  mutable stall_order : stall_rec list;
+}
+
+let create ?(enabled = false) () =
+  {
+    sw = { on = enabled };
+    cells = Hashtbl.create 32;
+    cell_order = [];
+    stalls = Hashtbl.create 32;
+    stall_order = [];
+  }
+
+let default = create ()
+
+let enabled t = t.sw.on
+let set_enabled t b = t.sw.on <- b
+let hot () = default.sw.on
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let labels_key labels =
+  String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let cell_key name labels = name ^ "{" ^ labels_key labels ^ "}"
+
+let cell t ?capacity ?(growth_alarm = 0) ?(labels = []) name =
+  let labels = normalize_labels labels in
+  let key = cell_key name labels in
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        w_sw = t.sw;
+        w_name = name;
+        w_labels = labels;
+        w_capacity = capacity;
+        w_growth_alarm = growth_alarm;
+        w_current = 0;
+        w_high = 0;
+        w_alarm_at = growth_alarm;
+        w_owner = t;
+      }
+    in
+    Hashtbl.replace t.cells key c;
+    t.cell_order <- c :: t.cell_order;
+    c
+
+let stall_rec_of c kind =
+  let t = c.w_owner in
+  let key = cell_key c.w_name c.w_labels ^ "/" ^ stall_name kind in
+  match Hashtbl.find_opt t.stalls key with
+  | Some r -> r
+  | None ->
+    let r = { st_cell = c; st_kind = kind; st_count = 0; st_published = 0 } in
+    Hashtbl.replace t.stalls key r;
+    t.stall_order <- r :: t.stall_order;
+    r
+
+let stall c kind =
+  if c.w_sw.on then begin
+    let r = stall_rec_of c kind in
+    r.st_count <- r.st_count + 1
+  end
+
+let observe c v =
+  if c.w_sw.on then begin
+    c.w_current <- v;
+    if v > c.w_high then c.w_high <- v;
+    if c.w_alarm_at > 0 && v >= c.w_alarm_at then begin
+      c.w_alarm_at <- 2 * c.w_alarm_at;
+      let r = stall_rec_of c Heap_growth in
+      r.st_count <- r.st_count + 1
+    end
+  end
+
+let current c = c.w_current
+let high c = c.w_high
+let capacity c = c.w_capacity
+
+let reset t =
+  List.iter
+    (fun c ->
+      c.w_current <- 0;
+      c.w_high <- 0;
+      c.w_alarm_at <- c.w_growth_alarm)
+    t.cell_order;
+  List.iter
+    (fun r ->
+      r.st_count <- 0;
+      r.st_published <- 0)
+    t.stall_order
+
+let stall_count t ?(labels = []) name kind =
+  let labels = normalize_labels labels in
+  let key = cell_key name labels ^ "/" ^ stall_name kind in
+  match Hashtbl.find_opt t.stalls key with
+  | Some r -> r.st_count
+  | None -> 0
+
+let total_stalls t =
+  List.fold_left (fun acc r -> acc + r.st_count) 0 t.stall_order
+
+let publish t metrics =
+  List.iter
+    (fun c ->
+      let labels = ("resource", c.w_name) :: c.w_labels in
+      let g =
+        Metrics.gauge metrics ~help:"Current occupancy of a finite resource"
+          ~labels "capacity_watermark"
+      in
+      Metrics.set g c.w_current;
+      let gh =
+        Metrics.gauge metrics
+          ~help:"High watermark (run maximum) of a finite resource" ~labels
+          "capacity_watermark_high"
+      in
+      Metrics.set gh c.w_high)
+    (List.rev t.cell_order);
+  List.iter
+    (fun r ->
+      let labels =
+        ("resource", r.st_cell.w_name)
+        :: ("kind", stall_name r.st_kind)
+        :: r.st_cell.w_labels
+      in
+      let ctr =
+        Metrics.counter metrics ~help:"Typed backpressure/stall events"
+          ~labels "backpressure_stalls_total"
+      in
+      let delta = r.st_count - r.st_published in
+      if delta > 0 then begin
+        Metrics.incr ~by:delta ctr;
+        r.st_published <- r.st_count
+      end)
+    (List.rev t.stall_order)
+
+let cell_title c =
+  if c.w_labels = [] then c.w_name
+  else c.w_name ^ "{" ^ labels_key c.w_labels ^ "}"
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %10s %10s %10s %7s\n" "resource" "current" "high"
+       "capacity" "util%");
+  List.iter
+    (fun c ->
+      let cap_s, util_s =
+        match c.w_capacity with
+        | Some cap when cap > 0 ->
+          ( string_of_int cap,
+            Printf.sprintf "%.1f" (100. *. float_of_int c.w_high /. float_of_int cap)
+          )
+        | _ -> ("-", "-")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %10d %10d %10s %7s\n" (cell_title c) c.w_current
+           c.w_high cap_s util_s))
+    (List.rev t.cell_order);
+  let stalls = List.filter (fun r -> r.st_count > 0) (List.rev t.stall_order) in
+  if stalls <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n%-40s %-16s %10s\n" "resource" "stall" "count");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-40s %-16s %10d\n" (cell_title r.st_cell)
+             (stall_name r.st_kind) r.st_count))
+      stalls
+  end;
+  Buffer.contents buf
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let to_json t =
+  let cell_json c =
+    let base =
+      [
+        ("name", Json.String c.w_name);
+        ("labels", labels_json c.w_labels);
+        ("current", Json.Int c.w_current);
+        ("high", Json.Int c.w_high);
+      ]
+    in
+    let cap =
+      match c.w_capacity with
+      | Some cap when cap > 0 ->
+        [
+          ("capacity", Json.Int cap);
+          ( "utilisation_pct",
+            Json.Float (100. *. float_of_int c.w_high /. float_of_int cap) );
+        ]
+      | _ -> []
+    in
+    Json.Obj (base @ cap)
+  in
+  let stall_json r =
+    Json.Obj
+      [
+        ("name", Json.String r.st_cell.w_name);
+        ("labels", labels_json r.st_cell.w_labels);
+        ("kind", Json.String (stall_name r.st_kind));
+        ("count", Json.Int r.st_count);
+      ]
+  in
+  Json.Obj
+    [
+      ("watermarks", Json.List (List.map cell_json (List.rev t.cell_order)));
+      ( "stalls",
+        Json.List
+          (List.map stall_json
+             (List.filter (fun r -> r.st_count > 0) (List.rev t.stall_order)))
+      );
+    ]

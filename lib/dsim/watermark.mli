@@ -1,0 +1,95 @@
+(** Capacity watermarks and typed backpressure accounting.
+
+    Each finite resource in the simulation — the engine's event heap,
+    a NIC descriptor ring, an mbuf pool's free list, a umtx wait queue
+    — registers a {!cell} and reports its occupancy at the points where
+    it changes. The cell keeps the current level and the high watermark
+    (the run's maximum), answering the capacity-planning question the
+    instantaneous {!Metrics} gauges cannot: {e how close did this
+    resource come to its limit, ever}.
+
+    Alongside levels, components report typed {!stall} events at the
+    moment backpressure actually bites — a TX ring refusing a frame, an
+    mbuf pool returning allocation failure, the event heap crossing a
+    growth alarm. [netrepro profile] and [analyze] render both tables;
+    {!publish} mirrors them into a {!Metrics} registry so the
+    {!Sampler} time series and the Prometheus dump carry
+    [capacity_watermark] / [capacity_watermark_high] /
+    [backpressure_stalls_total] families.
+
+    Same cost model as {!Metrics}: disabled, every [observe] is one
+    load and one branch. *)
+
+type t
+(** A watermark registry. Components account into {!default}. *)
+
+type cell
+(** One tracked resource: name + labels, current level, high
+    watermark, optional capacity, optional growth alarm. *)
+
+(** Why a component stalled. [Ring_full]: a descriptor ring rejected
+    an enqueue. [Pool_exhausted]: an allocation from a fixed pool
+    failed. [Heap_growth]: the event heap crossed its growth alarm
+    (each crossing doubles the next threshold, so an unbounded
+    scheduling leak logs O(log n) stalls, not n). *)
+type stall = Ring_full | Pool_exhausted | Heap_growth
+
+val stall_name : stall -> string
+(** ["ring_full"], ["pool_exhausted"], ["heap_growth"]. *)
+
+val create : ?enabled:bool -> unit -> t
+val default : t
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+val hot : unit -> bool
+(** One load and one branch: is {!default} enabled? *)
+
+val reset : t -> unit
+(** Zero levels, high watermarks and stall counts; re-arm growth
+    alarms. Cells stay interned. *)
+
+val cell :
+  t ->
+  ?capacity:int ->
+  ?growth_alarm:int ->
+  ?labels:(string * string) list ->
+  string ->
+  cell
+(** Intern a cell by (name, labels). [capacity] is the hard limit used
+    for utilisation reporting; [growth_alarm] arms a {!Heap_growth}
+    stall at that occupancy (doubling after each firing) for resources
+    with no hard limit. *)
+
+val observe : cell -> int -> unit
+(** Report the resource's current occupancy. Updates the high
+    watermark and fires the growth alarm when armed and crossed. No-op
+    when the registry is disabled. *)
+
+val stall : cell -> stall -> unit
+(** Count one backpressure event against the cell. No-op when
+    disabled. *)
+
+val current : cell -> int
+val high : cell -> int
+val capacity : cell -> int option
+
+val stall_count : t -> ?labels:(string * string) list -> string -> stall -> int
+(** Total stalls of a kind recorded against the named cell; 0 when the
+    cell or kind was never seen. *)
+
+val total_stalls : t -> int
+
+val publish : t -> Metrics.t -> unit
+(** Mirror every cell into [metrics]: gauges [capacity_watermark] and
+    [capacity_watermark_high] labelled [{resource=name, ...}], and
+    counter [backpressure_stalls_total{resource, kind, ...}]
+    incremented by the delta since the last publish. The {!Sampler}
+    calls this each tick so watermarks appear in the time series. *)
+
+val render : t -> string
+(** Two-part table: per-cell current/high/capacity/utilisation, then
+    per-(cell, kind) stall counts. *)
+
+val to_json : t -> Json.t
+(** [{"watermarks": [{name, labels, current, high, capacity?,
+    utilisation_pct?}], "stalls": [{name, labels, kind, count}]}]. *)

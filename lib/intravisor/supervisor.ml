@@ -139,6 +139,10 @@ let close_window e ~now =
   | (start, None) :: rest -> e.e_windows <- (start, Some now) :: rest
   | _ -> ()
 
+let k_restart =
+  Dsim.Profile.(key default) ~component:"intravisor" ~cvm:"supervisor"
+    ~stage:"restart"
+
 let backoff_delay t e =
   match e.e_policy with
   | Kill -> Dsim.Time.ns 0
@@ -182,7 +186,9 @@ let rec handle_fault t e fault =
   | Restart { budget; _ } when e.e_restarts >= budget -> set_state t e Dead
   | Restart _ ->
     let delay = backoff_delay t e in
-    ignore (Dsim.Engine.schedule t.engine ~delay (fun () -> attempt_restart t e))
+    ignore
+      (Dsim.Engine.schedule_l t.engine ~delay ~label:k_restart (fun () ->
+           attempt_restart t e))
 
 and attempt_restart t e =
   set_state t e Restarting;

@@ -20,6 +20,8 @@ type t = {
   acq_metric : Dsim.Metrics.counter;
   cont_metric : Dsim.Metrics.counter;
   wait_metric : Dsim.Metrics.histogram;
+  k_wake : Dsim.Profile.key;
+  wm_queue : Dsim.Watermark.cell;
 }
 
 let policy_label = function Barging -> "barging" | Fifo -> "fifo"
@@ -48,6 +50,10 @@ let create engine ?(policy = Barging) ?(uncontended_ns = 75.) ?(wake_ns = 350.)
       Dsim.Metrics.histogram Dsim.Metrics.default
         ~help:"Time waiters spent blocked on the umtx, in nanoseconds."
         ~labels ~lo:100. ~ratio:2. ~buckets:24 "umtx_wait_ns";
+    k_wake =
+      Dsim.Profile.(key default) ~component:"intravisor"
+        ~cvm:(policy_label policy) ~stage:"umtx_wake";
+    wm_queue = Dsim.Watermark.(cell default) ~labels "umtx_wait_queue";
   }
 
 let policy t = t.policy
@@ -73,7 +79,8 @@ let acquire t ?(flow = None) ~owner k =
     t.queue <-
       (match t.policy with
       | Barging -> w :: t.queue  (* most recent waiter barges in first *)
-      | Fifo -> t.queue @ [ w ])
+      | Fifo -> t.queue @ [ w ]);
+    Dsim.Watermark.observe t.wm_queue (List.length t.queue)
 
 let try_acquire t ~owner =
   match t.owner with
@@ -93,6 +100,7 @@ let release t =
     | [] -> ()
     | next :: rest ->
       t.queue <- rest;
+      Dsim.Watermark.observe t.wm_queue (List.length t.queue);
       t.owner <- Some next.name;
       t.acquisitions <- t.acquisitions + 1;
       t.contended <- t.contended + 1;
@@ -100,8 +108,8 @@ let release t =
       Dsim.Metrics.incr t.cont_metric;
       (* The kernel wake costs [wake_ns] before the waiter resumes. *)
       ignore
-        (Dsim.Engine.schedule t.engine
-           ~delay:(Dsim.Time.of_float_ns t.wake_ns)
+        (Dsim.Engine.schedule_l t.engine
+           ~delay:(Dsim.Time.of_float_ns t.wake_ns) ~label:t.k_wake
            (fun () ->
              let waited =
                Dsim.Time.to_float_ns

@@ -140,10 +140,16 @@ type t = {
      so drops detected deep inside the TCP machinery (via [stat]) can
      still be attributed to the sampled frame. *)
   mutable cur_rx_flow : Dsim.Flowtrace.ctx option;
+  (* Attribution key for this stack's main loop iterations. *)
+  k_loop : Dsim.Profile.key;
 }
 
 let create engine mem dev config =
   {
+    k_loop =
+      Dsim.Profile.(key default) ~component:"netstack"
+        ~cvm:(Ipv4_addr.to_string config.ip)
+        ~stage:"loop";
     engine;
     mem;
     dev;
@@ -800,7 +806,7 @@ let start ?hook t =
         end
       in
       let delay = Dsim.Time.add (Dsim.Time.of_float_ns work_ns) gap in
-      ignore (Dsim.Engine.schedule t.engine ~delay iterate)
+      ignore (Dsim.Engine.schedule_l t.engine ~delay ~label:t.k_loop iterate)
     end
   in
   iterate ()

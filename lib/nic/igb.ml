@@ -24,6 +24,12 @@ type port = {
   mutable promisc : bool;
   mutable rx_fault : (len:int -> bool) option;
   stats : Port_stats.t;
+  (* Per-port wall-clock attribution keys and ring-occupancy cells. *)
+  k_tx_dma : Dsim.Profile.key;
+  k_tx_wire : Dsim.Profile.key;
+  k_rx_dma : Dsim.Profile.key;
+  wm_tx : Dsim.Watermark.cell;
+  wm_rx : Dsim.Watermark.cell;
 }
 
 type t = { ports : port array }
@@ -31,6 +37,8 @@ type t = { ports : port array }
 let create engine mem ~bus ~macs ?(rx_ring_size = 512) ?(tx_ring_size = 1024) ()
     =
   let make_port index mac =
+    let cvm = Printf.sprintf "port%d" index in
+    let wm_labels = [ ("port", string_of_int index) ] in
     {
       index;
       mac;
@@ -49,6 +57,16 @@ let create engine mem ~bus ~macs ?(rx_ring_size = 512) ?(tx_ring_size = 1024) ()
       promisc = false;
       rx_fault = None;
       stats = Port_stats.create ();
+      k_tx_dma = Dsim.Profile.(key default) ~component:"nic" ~cvm ~stage:"tx_dma";
+      k_tx_wire =
+        Dsim.Profile.(key default) ~component:"nic" ~cvm ~stage:"tx_wire";
+      k_rx_dma = Dsim.Profile.(key default) ~component:"nic" ~cvm ~stage:"rx_dma";
+      wm_tx =
+        Dsim.Watermark.(cell default) ~capacity:tx_ring_size ~labels:wm_labels
+          "nic_tx_ring";
+      wm_rx =
+        Dsim.Watermark.(cell default) ~capacity:rx_ring_size ~labels:wm_labels
+          "nic_rx_ring";
     }
   in
   { ports = Array.of_list (List.mapi make_port macs) }
@@ -118,7 +136,8 @@ let kick_tx p =
       Pci_bus.reserve p.bus From_memory ~now ~bytes:req.tx_len
     in
     ignore
-      (Dsim.Engine.schedule_at p.engine ~at:dma_done (fun () ->
+      (Dsim.Engine.schedule_at_l p.engine ~at:dma_done ~label:p.k_tx_dma
+         (fun () ->
            let frame = wire_rent req.tx_len in
            (* The descriptor was validated against [dma_cap] at the
               doorbell ([tx_enqueue]); the completion-side copy needs no
@@ -136,7 +155,8 @@ let kick_tx p =
                Dsim.Engine.now p.engine
            in
            ignore
-             (Dsim.Engine.schedule_at p.engine ~at:tx_done_at (fun () ->
+             (Dsim.Engine.schedule_at_l p.engine ~at:tx_done_at
+                ~label:p.k_tx_wire (fun () ->
                   p.stats.tx_packets <- p.stats.tx_packets + 1;
                   p.stats.tx_bytes <- p.stats.tx_bytes + req.tx_len;
                   Dsim.Flowtrace.hop req.tx_flow Wire
@@ -148,6 +168,7 @@ let tx_enqueue p ?(flow = None) ~addr ~len () =
   if len <= 0 then invalid_arg "Igb.tx_enqueue: empty frame";
   if p.tx_inflight >= p.tx_ring_size then begin
     p.stats.tx_ring_full <- p.stats.tx_ring_full + 1;
+    Dsim.Watermark.(stall p.wm_tx Ring_full);
     Dsim.Flowtrace.(drop default ~flow Tx_ring Tx_ring_full);
     false
   end
@@ -157,6 +178,7 @@ let tx_enqueue p ?(flow = None) ~addr ~len () =
        does not corrupt memory later. *)
     Cheri.Capability.check_access p.dma_cap Load ~addr ~len;
     p.tx_inflight <- p.tx_inflight + 1;
+    Dsim.Watermark.observe p.wm_tx p.tx_inflight;
     Dsim.Flowtrace.hop flow Tx_ring ~at:(Dsim.Engine.now p.engine);
     Queue.push { tx_addr = addr; tx_len = len; tx_flow = flow } p.tx_pending;
     kick_tx p;
@@ -172,7 +194,9 @@ let tx_reap p ~max =
       take (n - 1) (addr :: acc)
     end
   in
-  take max []
+  let reaped = take max [] in
+  Dsim.Watermark.observe p.wm_tx p.tx_inflight;
+  reaped
 
 let tx_in_flight p = p.tx_inflight
 
@@ -212,6 +236,7 @@ let deliver_frame p ~flow ~fcs ~recycle frame =
   end
   else if Queue.is_empty p.rx_free then begin
     p.stats.rx_no_desc <- p.stats.rx_no_desc + 1;
+    Dsim.Watermark.(stall p.wm_rx Ring_full);
     Dsim.Flowtrace.(drop default ~flow Rx_dma Rx_ring_full);
     if recycle then wire_release frame
   end
@@ -222,15 +247,20 @@ let deliver_frame p ~flow ~fcs ~recycle frame =
          descriptors, our driver always posts MTU-sized buffers so this
          only happens on misconfiguration. Count it as a drop. *)
       p.stats.rx_no_desc <- p.stats.rx_no_desc + 1;
+      Dsim.Watermark.(stall p.wm_rx Ring_full);
       Dsim.Flowtrace.(drop default ~flow Rx_dma Rx_ring_full);
       if recycle then wire_release frame
     end
     else begin
       ignore (Queue.pop p.rx_free);
+      (* RX occupancy = posted descriptors consumed and not yet
+         replenished by [rx_refill]. *)
+      Dsim.Watermark.observe p.wm_rx (p.rx_ring_size - Queue.length p.rx_free);
       let now = Dsim.Engine.now p.engine in
       let dma_done = Pci_bus.reserve p.bus To_memory ~now ~bytes:len in
       ignore
-        (Dsim.Engine.schedule_at p.engine ~at:dma_done (fun () ->
+        (Dsim.Engine.schedule_at_l p.engine ~at:dma_done ~label:p.k_rx_dma
+           (fun () ->
              (* The buffer was validated against [dma_cap] when posted
                 ([rx_refill]); no second check at DMA completion. *)
              Cheri.Tagged_memory.unchecked_blit_in p.mem ~addr:desc.rx_addr
@@ -258,6 +288,7 @@ let rx_refill p ~addr ~len =
   else begin
     Cheri.Capability.check_access p.dma_cap Store ~addr ~len;
     Queue.push { rx_addr = addr; rx_len = len } p.rx_free;
+    Dsim.Watermark.observe p.wm_rx (p.rx_ring_size - Queue.length p.rx_free);
     true
   end
 

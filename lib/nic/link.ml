@@ -25,6 +25,16 @@ type t = {
 
 let overhead_bytes = 24
 
+(* Wall-clock attribution keys for the handlers this module schedules. *)
+let k_deliver =
+  Dsim.Profile.(key default) ~component:"nic" ~cvm:"wire" ~stage:"deliver"
+
+let k_dup =
+  Dsim.Profile.(key default) ~component:"nic" ~cvm:"wire" ~stage:"dup"
+
+let k_hold =
+  Dsim.Profile.(key default) ~component:"nic" ~cvm:"wire" ~stage:"hold"
+
 let create engine ?(bps = 1e9) ?(prop_delay = Dsim.Time.ns 500) () =
   let dir () = { busy_until = Dsim.Time.zero; handler = None; carried = 0 } in
   { engine; bps; prop_delay; a_to_b = dir (); b_to_a = dir (); dropped = 0;
@@ -98,8 +108,8 @@ let transmit t ?(flow = None) ~from ~frame () =
             let copy = Bytes.copy frame in
             f ~flow ~fcs frame;
             ignore
-              (Dsim.Engine.schedule t.engine ~delay:(Dsim.Time.ns 1000)
-                 (fun () ->
+              (Dsim.Engine.schedule_l t.engine ~delay:(Dsim.Time.ns 1000)
+                 ~label:k_dup (fun () ->
                    if t.up then f ~flow:None ~fcs copy
                    else begin
                      t.dropped <- t.dropped + 1;
@@ -108,11 +118,12 @@ let transmit t ?(flow = None) ~from ~frame () =
           | Dsim.Chaos.Hold_frame { extra_ns } ->
             t.tampered <- t.tampered + 1;
             ignore
-              (Dsim.Engine.schedule t.engine
-                 ~delay:(Dsim.Time.of_float_ns extra_ns) (fun () ->
+              (Dsim.Engine.schedule_l t.engine
+                 ~delay:(Dsim.Time.of_float_ns extra_ns) ~label:k_hold
+                 (fun () ->
                    if t.up then f ~flow ~fcs frame else drop_down ()))))
   in
-  ignore (Dsim.Engine.schedule_at t.engine ~at:arrival deliver);
+  ignore (Dsim.Engine.schedule_at_l t.engine ~at:arrival ~label:k_deliver deliver);
   tx_done
 
 let carried_bytes t ~from = (dir_of t from).carried

@@ -17,4 +17,5 @@ let () =
       ("zero_copy", Test_zero_copy.suite);
       ("chaos", Test_chaos.suite);
       ("audit", Test_audit.suite);
+      ("profile", Test_profile.suite);
     ]
