@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock audit profile perfdiff clean
+.PHONY: all build test check bench wallclock audit profile perfdiff journal clean
 
 all: build
 
@@ -38,6 +38,18 @@ perfdiff: profile
 	dune exec bin/netrepro.exe -- perfdiff \
 	  baseline/fig4.profile.json PROFILE_fig4.profile.json --max-regress 10
 
+# Flight-recorder smoke: record a Fig. 4 journal, replay it (every
+# dispatch re-verified against the recording), and jdiff it against
+# itself (must report equivalence). Exercises the full record ->
+# verify -> diff loop end to end.
+journal:
+	dune exec bin/netrepro.exe -- fig4 --quick --iterations 300 \
+	  --journal /tmp/netrepro-check.journal.jsonl > /dev/null
+	dune exec bin/netrepro.exe -- replay /tmp/netrepro-check.journal.jsonl
+	dune exec bin/netrepro.exe -- jdiff \
+	  /tmp/netrepro-check.journal.jsonl /tmp/netrepro-check.journal.jsonl
+	@echo "journal: record/replay/jdiff round-trip OK"
+
 # Full gate: build, unit/property tests, then five smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
 # families in the Prometheus dump, Fig. 5 with flow tracing enabled
@@ -46,8 +58,10 @@ perfdiff: profile
 # the capability audit must find zero invariant violations on the
 # stock scenarios, the wall-clock bench must keep the ff_write
 # fast path within its minor-allocation budget (the zero-copy
-# regression gate), and the profiled Fig. 4 run must attribute its
-# wall time and hold against the checked-in perf baseline.
+# regression gate), the profiled Fig. 4 run must attribute its
+# wall time and hold against the checked-in perf baseline, and a
+# recorded Fig. 4 journal must replay clean and jdiff equivalent
+# against itself.
 check:
 	dune build
 	dune runtest
@@ -94,6 +108,8 @@ check:
 	@echo "check: fig4 profile attributed (see PROFILE_fig4.profile.json)"
 	$(MAKE) perfdiff
 	@echo "check: fig4 profile within 10% of checked-in baseline"
+	$(MAKE) journal
+	@echo "check: journal record/replay/jdiff round-trip clean"
 	@echo "check: OK"
 
 clean:

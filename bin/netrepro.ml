@@ -65,6 +65,9 @@ let with_telemetry t f =
     match t.metrics_file with
     | None -> true
     | Some path ->
+      (* Fold the always-on per-label RNG draw counters into the
+         exposition before rendering it. *)
+      Dsim.Profile.publish_rng_draws Dsim.Profile.default Dsim.Metrics.default;
       dump path (fun () -> Dsim.Metrics.to_prometheus Dsim.Metrics.default)
   in
   let ok_trace =
@@ -98,7 +101,26 @@ let with_telemetry t f =
   in
   if ok_metrics && ok_trace && ok_flow && ok_timeseries then result else 1
 
-let run_experiment ids quick iterations telemetry =
+(* Arm journal recording to [path], failing cleanly (like the telemetry
+   dumps) when the path is unwritable instead of escaping as a raw
+   [Sys_error]. *)
+let arm_journal ~header path =
+  try Dsim.Journal.record_to ~header (Dsim.Journal.To_file path)
+  with Sys_error msg ->
+    Printf.eprintf "netrepro: cannot write %s\n" msg;
+    exit 1
+
+let run_experiment ids quick iterations telemetry journal =
+  (* The sampler schedules its own events on the engine, so a sampled
+     run can never replay against an unsampled one (or vice versa):
+     refuse the combination instead of recording unverifiable journals. *)
+  (match (journal, telemetry.timeseries_file) with
+  | Some _, Some _ ->
+    Printf.eprintf
+      "netrepro: --journal is incompatible with --timeseries (the sampler \
+       schedules events, so replay would diverge)\n";
+    exit 2
+  | _ -> ());
   let profile = profile_of quick iterations in
   let targets =
     match ids with
@@ -121,18 +143,43 @@ let run_experiment ids quick iterations telemetry =
         exit 2)
   in
   with_telemetry telemetry (fun () ->
-      List.iter
-        (fun (s : Core.Experiment.spec) ->
-          let out = s.Core.Experiment.report profile in
-          Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
-            s.Core.Experiment.paper_ref s.Core.Experiment.title
-            out.Core.Experiment.text;
-          if telemetry.metrics_file <> None then
-            Printf.printf "--- per-compartment metrics (%s) ---\n%s\n\n"
-              s.Core.Experiment.id
-              (Core.Report.metrics_digest ());
-          flush stdout)
-        targets;
+      (match journal with
+      | None -> ()
+      | Some path ->
+        arm_journal path
+          ~header:
+            [
+              ("kind", Dsim.Json.String "run");
+              ( "experiments",
+                Dsim.Json.List
+                  (List.map
+                     (fun (s : Core.Experiment.spec) ->
+                       Dsim.Json.String s.Core.Experiment.id)
+                     targets) );
+              ("quick", Dsim.Json.Bool quick);
+              ( "iterations",
+                match iterations with
+                | Some n -> Dsim.Json.Int n
+                | None -> Dsim.Json.Null );
+            ]);
+      Fun.protect
+        ~finally:(fun () -> Dsim.Journal.stop ())
+        (fun () ->
+          List.iter
+            (fun (s : Core.Experiment.spec) ->
+              let out = s.Core.Experiment.report profile in
+              Printf.printf "=== %s (%s): %s ===\n%s\n\n" s.Core.Experiment.id
+                s.Core.Experiment.paper_ref s.Core.Experiment.title
+                out.Core.Experiment.text;
+              if telemetry.metrics_file <> None then
+                Printf.printf "--- per-compartment metrics (%s) ---\n%s\n\n"
+                  s.Core.Experiment.id
+                  (Core.Report.metrics_digest ());
+              flush stdout)
+            targets);
+      (match journal with
+      | Some path -> Printf.printf "wrote %s\n" path
+      | None -> ());
       0)
 
 let run_analyze file =
@@ -239,16 +286,85 @@ let run_audit seed quick json_file =
   in
   if report.Core.Audit_experiment.pass && ok_json then 0 else 1
 
-let run_chaos seed quick =
+let run_chaos seed quick journal blackbox_dir =
   let profile =
     if quick then Core.Chaos_experiment.quick else Core.Chaos_experiment.full
   in
-  let report = Core.Chaos_experiment.run ~profile ~seed () in
+  (match journal with
+  | None -> ()
+  | Some path ->
+    arm_journal path
+      ~header:
+        [
+          ("kind", Dsim.Json.String "chaos");
+          ("seed", Dsim.Json.Int (Int64.to_int seed));
+          ("quick", Dsim.Json.Bool quick);
+        ]);
+  let report =
+    Fun.protect
+      ~finally:(fun () -> Dsim.Journal.stop ())
+      (fun () -> Core.Chaos_experiment.run ~profile ?blackbox_dir ~seed ())
+  in
   print_string report.Core.Chaos_experiment.text;
+  (match journal with
+  | Some path -> Printf.printf "wrote %s\n" path
+  | None -> ());
   flush stdout;
   if report.Core.Chaos_experiment.pass then 0 else 1
 
+let run_replay file context =
+  match Core.Replay.run ~context file with
+  | Ok outcome ->
+    print_string outcome.Core.Replay.text;
+    flush stdout;
+    Core.Replay.exit_code outcome
+  | Error msg ->
+    Printf.eprintf "netrepro replay: %s\n" msg;
+    2
+
+let run_jdiff file_a file_b context =
+  match Core.Jdiff.compare_files ~context file_a file_b with
+  | Ok report ->
+    print_string report.Core.Jdiff.text;
+    flush stdout;
+    Core.Jdiff.exit_code report
+  | Error msg ->
+    Printf.eprintf "netrepro jdiff: %s\n" msg;
+    2
+
 open Cmdliner
+
+(* Single registry of subcommand one-line summaries: the top-level help
+   and each command's own man page both render from it, so the listing
+   under `netrepro --help` cannot drift from the commands themselves. *)
+let summaries =
+  [
+    ("run", "regenerate tables/figures, optionally recording a journal");
+    ("list", "list available experiments");
+    ("attack", "run the Fig. 3 compartmentalization attacks");
+    ("chaos", "deterministic fault injection with a blast-radius verdict");
+    ("audit", "capability provenance audit and attack-surface report");
+    ("analyze", "summarize a flow-trace or time-series export");
+    ("profile", "wall-clock hotspot and capacity-watermark profile");
+    ("perfdiff", "compare two performance snapshots for regressions");
+    ("replay", "re-execute a recorded journal, verifying every dispatch");
+    ("jdiff", "first-divergence diff between two journals");
+  ]
+
+let summary name =
+  match List.assoc_opt name summaries with
+  | Some s -> s
+  | None -> invalid_arg ("netrepro: no summary registered for " ^ name)
+
+(* Command info whose one-liner comes from the registry; [detail]
+   paragraphs land in the man page DESCRIPTION. *)
+let cmd_info ?(detail = []) name =
+  let man =
+    match detail with
+    | [] -> []
+    | ps -> `S Manpage.s_description :: List.map (fun p -> `P p) ps
+  in
+  Cmd.info name ~doc:(summary name) ~man
 
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"CI-sized runs (short windows, few samples).")
@@ -318,6 +434,18 @@ let telemetry_term =
     const make $ metrics_opt $ trace_opt $ flow_trace_opt $ sample_every_opt
     $ timeseries_opt)
 
+let journal_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Record the run's dispatch journal — every event with its virtual \
+           time, scheduling label, causal parent and RNG-draw count — to \
+           $(docv) for $(b,netrepro replay) / $(b,netrepro jdiff). \
+           Incompatible with $(b,--timeseries) (the sampler schedules its \
+           own events).")
+
 let ids_arg =
   Arg.(
     value & pos_all string []
@@ -325,18 +453,15 @@ let ids_arg =
         ~doc:"Experiment ids (e.g. table2 fig4). Default: all.")
 
 let run_cmd =
-  let doc = "regenerate tables/figures" in
-  Cmd.v
-    (Cmd.info "run" ~doc)
-    Term.(const run_experiment $ ids_arg $ quick_flag $ iters_opt $ telemetry_term)
+  Cmd.v (cmd_info "run")
+    Term.(
+      const run_experiment $ ids_arg $ quick_flag $ iters_opt $ telemetry_term
+      $ journal_opt)
 
 let list_cmd =
-  let doc = "list available experiments" in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+  Cmd.v (cmd_info "list") Term.(const list_experiments $ const ())
 
-let attack_cmd =
-  let doc = "run the Fig. 3 compartmentalization attacks" in
-  Cmd.v (Cmd.info "attack" ~doc) Term.(const run_attacks $ const ())
+let attack_cmd = Cmd.v (cmd_info "attack") Term.(const run_attacks $ const ())
 
 let chaos_seed_opt =
   Arg.(
@@ -346,13 +471,29 @@ let chaos_seed_opt =
           "Chaos RNG seed. Two runs with the same seed and profile produce \
            byte-identical reports.")
 
+let chaos_blackbox_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "blackbox-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write each supervised containment's crash black box — the \
+           last-N dispatch ring plus the supervisor verdict and the \
+           fault's flow-trace/provenance cross-references — to \
+           $(docv)/<cvm>.blackbox.json.")
+
 let chaos_cmd =
-  let doc =
-    "deterministic fault injection: run the scenarios under seeded chaos and \
-     print the blast-radius report (exit 1 unless every fault is recovered \
-     or attributed and sibling goodput holds)"
-  in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run_chaos $ chaos_seed_opt $ quick_flag)
+  Cmd.v
+    (cmd_info "chaos"
+       ~detail:
+         [
+           "Run the scenarios under seeded chaos and print the blast-radius \
+            report: exit 1 unless every injected fault is recovered or \
+            attributed and sibling goodput holds.";
+         ])
+    Term.(
+      const run_chaos $ chaos_seed_opt $ quick_flag $ journal_opt
+      $ chaos_blackbox_opt)
 
 let audit_seed_opt =
   Arg.(
@@ -374,16 +515,16 @@ let audit_json_opt =
            cross-reference) to $(docv).")
 
 let audit_cmd =
-  let doc =
-    "capability provenance audit: run the stock scenarios with the \
-     provenance DAG and invariant checker enabled, print the \
-     per-compartment attack-surface report (exit 1 on any invariant \
-     violation, on a Scenario 2 app surface not strictly smaller than \
-     Scenario 1's replicated stack, or if a seeded capability fault goes \
-     unattributed)"
-  in
   Cmd.v
-    (Cmd.info "audit" ~doc)
+    (cmd_info "audit"
+       ~detail:
+         [
+           "Run the stock scenarios with the provenance DAG and invariant \
+            checker enabled and print the per-compartment attack-surface \
+            report: exit 1 on any invariant violation, on a Scenario 2 app \
+            surface not strictly smaller than Scenario 1's replicated \
+            stack, or if a seeded capability fault goes unattributed.";
+         ])
     Term.(const run_audit $ audit_seed_opt $ quick_flag $ audit_json_opt)
 
 let analyze_file_arg =
@@ -393,12 +534,15 @@ let analyze_file_arg =
     & info [] ~docv:"FILE" ~doc:"Flow-trace JSON written by --flow-trace.")
 
 let analyze_cmd =
-  let doc =
-    "per-stage latency percentiles, end-to-end decomposition and drop \
-     attribution from a --flow-trace file; also summarizes --timeseries \
-     exports (row/series counts, truncation)"
-  in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run_analyze $ analyze_file_arg)
+  Cmd.v
+    (cmd_info "analyze"
+       ~detail:
+         [
+           "Per-stage latency percentiles, end-to-end decomposition and \
+            drop attribution from a --flow-trace file; also summarizes \
+            --timeseries exports (row/series counts, truncation).";
+         ])
+    Term.(const run_analyze $ analyze_file_arg)
 
 let profile_exp_arg =
   Arg.(
@@ -416,17 +560,18 @@ let profile_out_opt =
            (default PROFILE_<experiment>).")
 
 let profile_cmd =
-  let doc =
-    "run one experiment under the wall-clock profiler: print the \
-     per-(component, cvm, stage) hotspot table and the capacity \
-     watermark/backpressure report, and write the folded-stack dump \
-     (flamegraph input) plus the machine-readable .profile.json snapshot \
-     that $(b,netrepro perfdiff) compares against a baseline. Profiling \
-     never touches the virtual clock, so the experiment's own output is \
-     bit-identical to an unprofiled run."
-  in
   Cmd.v
-    (Cmd.info "profile" ~doc)
+    (cmd_info "profile"
+       ~detail:
+         [
+           "Run one experiment under the wall-clock profiler: print the \
+            per-(component, cvm, stage) hotspot table and the capacity \
+            watermark/backpressure report, and write the folded-stack dump \
+            (flamegraph input) plus the machine-readable .profile.json \
+            snapshot that netrepro perfdiff compares against a baseline. \
+            Profiling never touches the virtual clock, so the experiment's \
+            own output is bit-identical to an unprofiled run.";
+         ])
     Term.(const run_profile $ profile_exp_arg $ quick_flag $ profile_out_opt)
 
 let perfdiff_old_arg =
@@ -448,19 +593,73 @@ let perfdiff_max_regress_opt =
         ~doc:"Regression threshold in percent (default 10).")
 
 let perfdiff_cmd =
-  let doc =
-    "compare two performance snapshots key by key and exit 1 when any \
-     key regressed past --max-regress (2 on I/O or parse errors). \
-     Profile snapshots diff per hotspot with noise floors on wall time; \
-     deterministic event counts flag on any drift. Other JSON snapshots \
-     diff every numeric leaf, with the improvement direction inferred \
-     from the leaf name."
-  in
   Cmd.v
-    (Cmd.info "perfdiff" ~doc)
+    (cmd_info "perfdiff"
+       ~detail:
+         [
+           "Compare two performance snapshots key by key and exit 1 when \
+            any key regressed past --max-regress (2 on I/O or parse \
+            errors). Profile snapshots diff per hotspot with noise floors \
+            on wall time; deterministic event counts flag on any drift. \
+            Other JSON snapshots diff every numeric leaf, with the \
+            improvement direction inferred from the leaf name.";
+         ])
     Term.(
       const run_perfdiff $ perfdiff_old_arg $ perfdiff_new_arg
       $ perfdiff_max_regress_opt)
+
+let context_opt =
+  Arg.(
+    value & opt int 5
+    & info [ "context" ] ~docv:"K"
+        ~doc:"Journal events shown around a mismatch (default 5).")
+
+let replay_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOURNAL" ~doc:"Journal recorded with --journal.")
+
+let replay_cmd =
+  Cmd.v
+    (cmd_info "replay"
+       ~detail:
+         [
+           "Re-execute the run described by the journal header (experiment \
+            ids, profile, seed) with the verifier armed: every live \
+            dispatch is checked against the recording — virtual time, \
+            scheduling label, causal parent, RNG-draw count — and the \
+            first mismatch is reported with ±K events of journal context. \
+            Exit 0 when the whole journal verifies, 1 on the first \
+            divergence, 2 on I/O or header errors.";
+         ])
+    Term.(const run_replay $ replay_file_arg $ context_opt)
+
+let jdiff_a_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"A" ~doc:"First journal.")
+
+let jdiff_b_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"B" ~doc:"Second journal.")
+
+let jdiff_cmd =
+  Cmd.v
+    (cmd_info "jdiff"
+       ~detail:
+         [
+           "Find the first sequence number where two recorded runs \
+            diverge, walk the causal parent edges of both diverging \
+            dispatches back to their last common ancestor, and summarize \
+            per-component dispatch drift after the split. Exit 0 when the \
+            journals are equivalent, 1 on divergence, 2 on I/O or parse \
+            errors.";
+         ])
+    Term.(const run_jdiff $ jdiff_a_arg $ jdiff_b_arg $ context_opt)
 
 (* One top-level command per experiment, so
    `netrepro fig4 --metrics out.prom --trace-json out.json` works
@@ -475,9 +674,11 @@ let experiment_cmds =
       Cmd.v
         (Cmd.info s.Core.Experiment.id ~doc)
         Term.(
-          const (fun quick iterations telemetry ->
-              run_experiment [ s.Core.Experiment.id ] quick iterations telemetry)
-          $ quick_flag $ iters_opt $ telemetry_term))
+          const (fun quick iterations telemetry journal ->
+              run_experiment
+                [ s.Core.Experiment.id ]
+                quick iterations telemetry journal)
+          $ quick_flag $ iters_opt $ telemetry_term $ journal_opt))
     Core.Experiment.all
 
 let default = Term.(ret (const (`Help (`Pager, None))))
@@ -502,5 +703,7 @@ let () =
              analyze_cmd;
              profile_cmd;
              perfdiff_cmd;
+             replay_cmd;
+             jdiff_cmd;
            ]
           @ experiment_cmds)))

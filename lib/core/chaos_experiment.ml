@@ -229,7 +229,7 @@ let tail_healthy samples label =
 (* Phase A: Scenario 1 dual-port, victim port 0                        *)
 (* ------------------------------------------------------------------ *)
 
-let phase_a ch profile ~seed =
+let phase_a ch profile ~seed ~blackbox_dir =
   let topo_seed = Int64.add seed 1L in
   let direction = Scenarios.Dut_receives in
   let victim = "cVM1" and sibling = "cVM2" in
@@ -254,6 +254,7 @@ let phase_a ch profile ~seed =
   ci.ci_set_engine engine;
   let sup = get_sup sup_ref in
   Sup.set_on_transition sup (Some ci.ci_on_transition);
+  Sup.set_blackbox_dir sup blackbox_dir;
   (* Wire chaos on the victim's link only; port 1 is the control. *)
   let link0 = List.hd built.Scenarios.links in
   Nic.Link.set_tamper link0
@@ -391,7 +392,7 @@ let phase_a ch profile ~seed =
 (* Phase B: Scenario 2 contended, victim cVM3                          *)
 (* ------------------------------------------------------------------ *)
 
-let phase_b ch profile ~seed =
+let phase_b ch profile ~seed ~blackbox_dir =
   let topo_seed = Int64.add seed 2L in
   let direction = Scenarios.Dut_sends in
   let victim = "cVM3" and sibling = "cVM2" in
@@ -429,6 +430,7 @@ let phase_b ch profile ~seed =
   ci.ci_set_engine engine;
   let sup = get_sup sup_ref in
   Sup.set_on_transition sup (Some ci.ci_on_transition);
+  Sup.set_blackbox_dir sup blackbox_dir;
   let victim_cvm = List.nth built.Scenarios.app_cvms 1 in
   (* Transient-EINTR chaos through the victim's libc: a heartbeat
      syscall stream whose attempts fail with probability 0.25 while
@@ -544,13 +546,13 @@ let phase_section b p =
     p.ph_victim p.ph_victim_rate p.ph_victim_ref
     (ratio p.ph_victim_rate p.ph_victim_ref)
 
-let run ?(profile = quick) ~seed () =
+let run ?(profile = quick) ?blackbox_dir ~seed () =
   let ft_was = Ft.enabled Ft.default in
   Ft.set_enabled Ft.default true;
   Ft.clear Ft.default;
   let ch = Ch.create ~seed in
-  let pa = phase_a ch profile ~seed in
-  let pb = phase_b ch profile ~seed in
+  let pa = phase_a ch profile ~seed ~blackbox_dir in
+  let pb = phase_b ch profile ~seed ~blackbox_dir in
   Ft.clear Ft.default;
   Ft.set_enabled Ft.default ft_was;
   let counts = Ch.counts ch in

@@ -64,4 +64,9 @@ type report = {
   text : string;  (** Deterministic rendering of everything above. *)
 }
 
-val run : ?profile:profile -> seed:int64 -> unit -> report
+val run : ?profile:profile -> ?blackbox_dir:string -> seed:int64 -> unit -> report
+(** [blackbox_dir] arms the supervisors' crash black box: every
+    containment writes [DIR/<cvm>.blackbox.json] (the journal's crash
+    ring plus verdict and fault cross-references). The dumps do not
+    perturb the run — reports stay byte-identical per seed with the
+    directory set or not. *)

@@ -1,0 +1,40 @@
+(** First-divergence diffing between two journals ([netrepro jdiff]).
+
+    Given two [*.journal.jsonl] recordings, reports the first sequence
+    number at which the dispatch streams diverge (virtual time, label,
+    causal parent or RNG-draw count — or one journal simply running
+    longer), walks the causal parent edges of both diverging dispatches
+    back to their last common ancestor (every record below the
+    divergence point is shared, so the chains meet in the common
+    prefix), and summarizes per-component dispatch-count drift from the
+    split onward. Exit discipline matches [perfdiff]: 0 equivalent,
+    1 diverged, 2 on I/O or parse errors. *)
+
+type divergence = {
+  dv_seq : int;
+  dv_field : string;
+      (** ["virtual_time"] | ["label"] | ["causal_parent"] |
+          ["rng_draws"] | ["extra_dispatch_in_a"/"_in_b"]. *)
+  dv_a : Dsim.Journal.dispatch option;
+  dv_b : Dsim.Journal.dispatch option;
+  dv_ancestor : Dsim.Journal.dispatch option;
+      (** Last common causal ancestor; [None] when both diverging
+          dispatches are root-scheduled. *)
+}
+
+type report = {
+  path_a : string;
+  path_b : string;
+  count_a : int;
+  count_b : int;
+  divergence : divergence option;  (** [None] = equivalent. *)
+  text : string;  (** Deterministic human-readable report. *)
+}
+
+val compare_files : ?context:int -> string -> string -> (report, string) result
+(** [compare_files a b]; [Error] on unreadable/unparsable journals
+    (CLI exit 2). [context] is the ±K window printed around the
+    divergence (default 5). *)
+
+val exit_code : report -> int
+(** 0 equivalent, 1 diverged. *)

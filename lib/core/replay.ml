@@ -1,0 +1,138 @@
+(* Replay verification: re-execute a recorded run from its journal
+   header and assert every dispatch against the recording. *)
+
+module Json = Dsim.Json
+module Journal = Dsim.Journal
+
+type outcome = {
+  path : string;
+  kind : string;
+  checked : int;
+  total : int;
+  mismatch : Journal.mismatch option;
+  pass : bool;
+  text : string;
+}
+
+let default_context = 5
+
+let str_member name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let int_member name j =
+  match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+
+let bool_member name j =
+  match Json.member name j with Some (Json.Bool b) -> Some b | _ -> None
+
+let profile_of_header hdr =
+  let quick = Option.value ~default:false (bool_member "quick" hdr) in
+  let base = if quick then Experiment.quick else Experiment.full in
+  match int_member "iterations" hdr with
+  | None -> base
+  | Some n -> { base with Experiment.iterations = n }
+
+(* Resolve the re-execution closure from the header, without running
+   anything yet: unknown experiments or a foreign kind fail before the
+   verifier is armed. *)
+let driver_of_header hdr =
+  match str_member "kind" hdr with
+  | Some "run" -> (
+    let ids =
+      match Json.member "experiments" hdr with
+      | Some (Json.List l) ->
+        List.filter_map (function Json.String s -> Some s | _ -> None) l
+      | _ -> []
+    in
+    if ids = [] then Error "journal header lists no experiments"
+    else
+      match
+        List.partition_map
+          (fun id ->
+            match Experiment.find id with
+            | Some s -> Left s
+            | None -> Right id)
+          ids
+      with
+      | specs, [] ->
+        let profile = profile_of_header hdr in
+        Ok
+          ( "run",
+            fun () ->
+              List.iter
+                (fun (s : Experiment.spec) ->
+                  ignore (s.Experiment.report profile))
+                specs )
+      | _, missing ->
+        Error
+          ("journal references unknown experiment(s): "
+          ^ String.concat ", " missing))
+  | Some "chaos" ->
+    let seed =
+      Int64.of_int (Option.value ~default:42 (int_member "seed" hdr))
+    in
+    let profile =
+      if Option.value ~default:false (bool_member "quick" hdr) then
+        Chaos_experiment.quick
+      else Chaos_experiment.full
+    in
+    Ok ("chaos", fun () -> ignore (Chaos_experiment.run ~profile ~seed ()))
+  | Some k -> Error (Printf.sprintf "journal kind %S is not replayable" k)
+  | None -> Error "journal header has no \"kind\" field"
+
+let pp_dispatch (d : Journal.dispatch) =
+  Printf.sprintf "seq=%d at=%dns label=%s parent=%d rng=%d" d.Journal.d_seq
+    d.Journal.d_at_ns d.Journal.d_label d.Journal.d_parent d.Journal.d_rng
+
+let pp_opt = function None -> "(none)" | Some d -> pp_dispatch d
+
+let render ~path ~kind ~context l (vo : Journal.verify_outcome) =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "replay: %s (kind %s, %d recorded dispatches)\n" path kind
+    vo.Journal.vo_total;
+  (match vo.Journal.vo_mismatch with
+  | None ->
+    pr "verified %d/%d dispatches\nOK — run matches journal\n"
+      vo.Journal.vo_checked vo.Journal.vo_total
+  | Some mm ->
+    pr "verified %d/%d dispatches\n" vo.Journal.vo_checked vo.Journal.vo_total;
+    pr "MISMATCH at seq %d (field %s)\n" mm.Journal.mm_seq mm.Journal.mm_field;
+    pr "  journal: %s\n" (pp_opt mm.Journal.mm_expected);
+    pr "  live:    %s\n" (pp_opt mm.Journal.mm_actual);
+    pr "journal context (±%d events):\n" context;
+    List.iter
+      (fun (d : Journal.dispatch) ->
+        pr "  %c %s\n"
+          (if d.Journal.d_seq = mm.Journal.mm_seq then '>' else ' ')
+          (pp_dispatch d))
+      (Journal.context l ~seq:mm.Journal.mm_seq ~k:context));
+  Buffer.contents buf
+
+let run ?(context = default_context) path =
+  match Journal.load path with
+  | Error m -> Error m
+  | Ok l -> (
+    match driver_of_header (Journal.header l) with
+    | Error m -> Error (path ^ ": " ^ m)
+    | Ok (kind, exec) ->
+      Journal.verify_against l;
+      (match exec () with
+      | () -> ()
+      | exception e ->
+        Journal.stop ();
+        raise e);
+      let vo = Journal.verify_finish () in
+      let pass = vo.Journal.vo_mismatch = None in
+      Ok
+        {
+          path;
+          kind;
+          checked = vo.Journal.vo_checked;
+          total = vo.Journal.vo_total;
+          mismatch = vo.Journal.vo_mismatch;
+          pass;
+          text = render ~path ~kind ~context l vo;
+        })
+
+let exit_code o = if o.pass then 0 else 1

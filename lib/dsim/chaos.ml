@@ -113,6 +113,7 @@ let inject t kind ~at_ns ~target =
      cross-reference injected capability faults against audited
      hardware faults by cVM and kind. *)
   Audit.record_event Audit.default Audit.Chaos_injection;
+  Journal.note_chaos ~kind:(kind_name kind) ~id ~at_ns ~target;
   id
 
 let find_exn t id =

@@ -3,6 +3,10 @@ type handle = {
   seq : int;
   fn : unit -> unit;
   label : Profile.key;
+  (* Journal seq of the dispatch whose handler scheduled this event
+     (-1 outside dispatch): the causal parent edge jdiff walks back to
+     a common ancestor. *)
+  sched_parent : int;
   owner : t;
   mutable cancelled : bool;
   mutable fired : bool;
@@ -36,8 +40,8 @@ let now t = t.clock
 let schedule_at_l t ~at ~label fn =
   let at = Time.max at t.clock in
   let h =
-    { at; seq = t.next_seq; fn; label; owner = t; cancelled = false;
-      fired = false }
+    { at; seq = t.next_seq; fn; label; sched_parent = Journal.parent_seq ();
+      owner = t; cancelled = false; fired = false }
   in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
@@ -98,15 +102,32 @@ let rec step t =
       t.clock <- h.at;
       h.fired <- true;
       t.fired_total <- t.fired_total + 1;
-      if Profile.hot () then begin
-        Profile.enter_event h.label;
-        match h.fn () with
-        | () -> Profile.exit_event ()
-        | exception e ->
-          Profile.exit_event ();
-          raise e
-      end
-      else h.fn ();
+      (* Journal bracket: assigns this dispatch its global seq, snapshots
+         the RNG draw counter, and on exit writes the black-box ring slot
+         and streams/verifies the record. Exception-safe so a trapping
+         handler still leaves a complete record for the supervisor's
+         black-box dump. *)
+      Journal.begin_dispatch ~at:h.at ~parent:h.sched_parent h.label;
+      (* Flat branches, no closure: this is the hottest line in the
+         simulator and a per-dispatch allocation here shows up in both
+         the wallclock budget and the perf baseline. *)
+      (if Profile.hot () then begin
+         Profile.enter_event h.label;
+         match h.fn () with
+         | () ->
+           Profile.exit_event ();
+           Journal.end_dispatch ()
+         | exception e ->
+           Profile.exit_event ();
+           Journal.end_dispatch ();
+           raise e
+       end
+       else
+         match h.fn () with
+         | () -> Journal.end_dispatch ()
+         | exception e ->
+           Journal.end_dispatch ();
+           raise e);
       true
     end
   end

@@ -2,9 +2,17 @@
 
     The engine owns the virtual clock and a pending-event heap. Events
     are plain closures scheduled at an absolute or relative virtual
-    time; ties are broken by insertion order so the simulation is fully
-    deterministic. Components (NIC, TCP timers, cVM loops) interact only
-    by scheduling events on a shared engine. *)
+    time; ties are broken by insertion order — the heap comparator is
+    the total order [(deadline, schedule seq)], so equal-deadline
+    events dispatch FIFO and the simulation is fully deterministic
+    ({!Journal} replay depends on this). Components (NIC, TCP timers,
+    cVM loops) interact only by scheduling events on a shared engine.
+
+    Every dispatch is bracketed by the {!Journal} hot path: it receives
+    a global sequence number, its causal parent (the dispatch whose
+    handler scheduled it), and its {!Rng}-draw count, feeding the
+    always-on crash black box and, when armed, journal recording or
+    replay verification. *)
 
 type t
 

@@ -1,7 +1,18 @@
 (** Array-based binary min-heap, polymorphic in the element type.
 
     The ordering function is fixed at creation. Used by {!Engine} as the
-    pending-event queue; kept generic so tests can exercise it directly. *)
+    pending-event queue; kept generic so tests can exercise it directly.
+
+    {b Stability.} A binary heap is {e not} stable: sift-up/sift-down
+    reorder elements that compare equal, so two pushes that [cmp] calls
+    equal may pop in either order. The engine never relies on heap
+    stability — its comparator orders by [(deadline, insertion seq)],
+    which is a total order (no two handles ever compare equal), making
+    equal-deadline dispatch FIFO by construction. Journal replay and
+    jdiff depend on that total order; see the property test in
+    [test/test_journal.ml] which pushes colliding deadlines and asserts
+    FIFO dispatch. Callers supplying their own [cmp] must likewise
+    embed a tiebreaker if they need deterministic order for ties. *)
 
 type 'a t
 

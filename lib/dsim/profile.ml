@@ -10,6 +10,14 @@ type key = {
   mutable k_events : int;
   mutable k_self_ns : int;
   mutable k_cum_ns : int;
+  (* RNG draws made while a handler scheduled under this key was
+     dispatching (always-on — the engine adds the per-dispatch delta
+     even when profiling is off, so stray-RNG nondeterminism is visible
+     without any instrument enabled). [k_rng_pub] is the high-water
+     mark already mirrored into a Metrics registry by
+     [publish_rng_draws]. *)
+  mutable k_rng : int;
+  mutable k_rng_pub : int;
 }
 
 (* Folded-stack tree: one node per (parent path, key) pair actually
@@ -53,6 +61,8 @@ let make_key t ~component ~cvm ~stage =
       k_events = 0;
       k_self_ns = 0;
       k_cum_ns = 0;
+      k_rng = 0;
+      k_rng_pub = 0;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -82,6 +92,8 @@ let create ?(enabled = false) () =
               k_events = 0;
               k_self_ns = 0;
               k_cum_ns = 0;
+              k_rng = 0;
+              k_rng_pub = 0;
             };
           n_self_ns = 0;
           n_children = Hashtbl.create 16;
@@ -112,12 +124,22 @@ let key t ~component ~cvm ~stage =
 
 let unattributed = key default ~component:"unattributed" ~cvm:"-" ~stage:"-"
 
+let key_id k = k.k_id
+let key_triple k = (k.k_component, k.k_cvm, k.k_stage)
+
+(* Always-on: one add per dispatched event (the engine computes the
+   delta from Rng.draws around the handler). *)
+let add_rng_draws k n = k.k_rng <- k.k_rng + n
+let rng_draws k = k.k_rng
+
 let reset t =
   List.iter
     (fun k ->
       k.k_events <- 0;
       k.k_self_ns <- 0;
-      k.k_cum_ns <- 0)
+      k.k_cum_ns <- 0;
+      k.k_rng <- 0;
+      k.k_rng_pub <- 0)
     t.key_order;
   Hashtbl.reset t.root.n_children;
   t.root.n_self_ns <- 0;
@@ -199,6 +221,7 @@ type row = {
   r_events : int;
   r_self_ns : float;
   r_cum_ns : float;
+  r_rng_draws : int;
 }
 
 let key_name k = k.k_component ^ ":" ^ k.k_cvm ^ ":" ^ k.k_stage
@@ -216,6 +239,7 @@ let rows t =
                r_events = k.k_events;
                r_self_ns = float_of_int k.k_self_ns;
                r_cum_ns = float_of_int k.k_cum_ns;
+               r_rng_draws = k.k_rng;
              })
   |> List.sort (fun a b ->
          match Float.compare b.r_self_ns a.r_self_ns with
@@ -245,16 +269,18 @@ let render t =
   let total = total_self_ns t in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
-    (Printf.sprintf "%-12s %-16s %-18s %10s %10s %8s %10s %7s\n" "component"
-       "cvm" "stage" "events" "self(ms)" "share%" "cum(ms)" "ns/ev");
+    (Printf.sprintf "%-12s %-16s %-18s %10s %10s %8s %10s %7s %8s\n" "component"
+       "cvm" "stage" "events" "self(ms)" "share%" "cum(ms)" "ns/ev" "rng");
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%-12s %-16s %-18s %10d %10.2f %8.2f %10.2f %7.0f\n"
+        (Printf.sprintf
+           "%-12s %-16s %-18s %10d %10.2f %8.2f %10.2f %7.0f %8d\n"
            r.r_component r.r_cvm r.r_stage r.r_events (ms r.r_self_ns)
            (if total > 0. then 100. *. r.r_self_ns /. total else 0.)
            (ms r.r_cum_ns)
-           (r.r_self_ns /. float_of_int (max r.r_events 1))))
+           (r.r_self_ns /. float_of_int (max r.r_events 1))
+           r.r_rng_draws))
     rs;
   Buffer.add_string buf
     (Printf.sprintf
@@ -277,6 +303,34 @@ let folded t =
   String.concat "\n" (List.sort String.compare !lines)
   ^ if !lines = [] then "" else "\n"
 
+(* Mirror per-label RNG draw totals into a Metrics registry as
+   [rng_draws_total{component,cvm,stage}]. Delta-published like
+   Watermark.publish so repeated calls (telemetry dumps, sampler ticks)
+   stay monotone; keys that never drew are skipped to avoid flooding
+   the exposition with zero series. *)
+let publish_rng_draws t registry =
+  if Metrics.enabled registry then
+    List.iter
+      (fun k ->
+        if k.k_rng > k.k_rng_pub then begin
+          let c =
+            Metrics.counter registry
+              ~help:
+                "Deterministic-RNG draws made while handlers scheduled \
+                 under this label were dispatching."
+              ~labels:
+                [
+                  ("component", k.k_component);
+                  ("cvm", k.k_cvm);
+                  ("stage", k.k_stage);
+                ]
+              "rng_draws_total"
+          in
+          Metrics.incr ~by:(k.k_rng - k.k_rng_pub) c;
+          k.k_rng_pub <- k.k_rng
+        end)
+      (List.rev t.key_order)
+
 let to_json t =
   let total = total_self_ns t in
   let hotspot r =
@@ -293,6 +347,7 @@ let to_json t =
         ( "share_pct",
           Json.Float (if total > 0. then 100. *. r.r_self_ns /. total else 0.)
         );
+        ("rng_draws", Json.Int r.r_rng_draws);
       ]
   in
   Json.Obj

@@ -62,6 +62,31 @@ val unattributed : key
     here; its share is the profiler's blind spot and the
     [netrepro profile] report prints it first when non-zero. *)
 
+val key_id : key -> int
+(** Stable small integer identifying the key within its registry
+    (interning order). The {!Journal} uses it to intern label records
+    once per journal file. *)
+
+val key_triple : key -> string * string * string
+(** The [(component, cvm, stage)] triple the key was interned under. *)
+
+(** {1 RNG draw accounting}
+
+    Always-on (independent of {!enabled}): the engine snapshots
+    {!Rng.draws} around every dispatched handler and adds the delta to
+    the handle's key, so stray RNG use is attributable per scheduling
+    label even when no instrument is armed. Zeroed by {!reset}. *)
+
+val add_rng_draws : key -> int -> unit
+(** Called by the engine dispatch loop; one unboxed add. *)
+
+val rng_draws : key -> int
+
+val publish_rng_draws : t -> Metrics.t -> unit
+(** Mirror draw totals into [rng_draws_total{component,cvm,stage}]
+    counters. Delta-based (repeated publishes stay monotone); no-op
+    while the registry is disabled; keys with zero draws are skipped. *)
+
 (** {1 Hot path} — used by the engine dispatch loop and instrumented
     handlers; all three account into {!default}. *)
 
@@ -89,6 +114,7 @@ type row = {
   r_events : int;  (** Times the key was entered (events + spans). *)
   r_self_ns : float;  (** Wall time excluding nested spans. *)
   r_cum_ns : float;  (** Wall time including nested spans. *)
+  r_rng_draws : int;  (** RNG draws during dispatches under this key. *)
 }
 
 val rows : t -> row list
@@ -116,5 +142,5 @@ val folded : t -> string
 val to_json : t -> Json.t
 (** [{"total_self_wall_ns", "attributed_wall_ns", "attributed_pct",
     "hotspots": [{component, cvm, stage, events, self_wall_ns,
-    cum_wall_ns, ns_per_event, share_pct}]}] — the
+    cum_wall_ns, ns_per_event, share_pct, rng_draws}]}] — the
     [FILE.profile.json] payload [netrepro perfdiff] consumes. *)

@@ -1,5 +1,14 @@
 type t = { mutable state : int64 }
 
+(* Process-wide draw counter. Every [bits64] (the single primitive all
+   draws funnel through) bumps it; the engine snapshots it around each
+   dispatched handler so the journal can record draws-per-dispatch and
+   the profiler can attribute draws per scheduling label. One unboxed
+   int increment per draw — never reset, deltas are what matter. *)
+let draw_count = ref 0
+
+let draws () = !draw_count
+
 let golden_gamma = 0x9E3779B97F4A7C15L
 
 let mix64 z =
@@ -10,6 +19,7 @@ let mix64 z =
 let create ~seed = { state = seed }
 
 let bits64 t =
+  incr draw_count;
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state
 

@@ -8,6 +8,14 @@ type t
 
 val create : seed:int64 -> t
 
+val draws : unit -> int
+(** Process-wide count of primitive draws ({!bits64} calls, which every
+    other draw reduces to) since program start. Never reset — consumers
+    ({!Engine}'s per-dispatch accounting, the {!Journal} records) take
+    deltas. A dispatch whose draw delta differs between two same-seed
+    runs is the classic nondeterminism smell this counter exists to
+    expose. *)
+
 val split : t -> t
 (** Derive an independent stream; used to give each simulated component
     its own generator without sharing mutable state. *)

@@ -47,6 +47,9 @@ type entry = {
   mutable e_trapped_at : Dsim.Time.t;
   (* Head = most recent quarantine window; [None] end = still open. *)
   mutable e_windows : (Dsim.Time.t * Dsim.Time.t option) list;
+  (* Black-box dump captured at the end of the most recent containment
+     sequence: the journal's crash ring plus fault cross-references. *)
+  mutable e_blackbox : Dsim.Json.t option;
   e_gauge : Dsim.Metrics.gauge;
   e_recovery : Dsim.Metrics.histogram;
 }
@@ -59,6 +62,7 @@ type t = {
   rng : Dsim.Rng.t;
   entries : (string, entry) Hashtbl.t;
   mutable on_transition : transition_cb option;
+  mutable blackbox_dir : string option;
 }
 
 let create engine ?(seed = 0x5afeL) ?(policy = default_restart) () =
@@ -68,9 +72,11 @@ let create engine ?(seed = 0x5afeL) ?(policy = default_restart) () =
     rng = Dsim.Rng.create ~seed;
     entries = Hashtbl.create 8;
     on_transition = None;
+    blackbox_dir = None;
   }
 
 let set_on_transition t cb = t.on_transition <- cb
+let set_blackbox_dir t dir = t.blackbox_dir <- dir
 
 let register t ?policy cvm =
   let name = Cvm.name cvm in
@@ -90,6 +96,7 @@ let register t ?policy cvm =
         e_last_fault = None;
         e_trapped_at = Dsim.Time.ns 0;
         e_windows = [];
+        e_blackbox = None;
         e_gauge =
           Dsim.Metrics.gauge Dsim.Metrics.default
             ~help:
@@ -114,6 +121,7 @@ let add_cleanup t ~cvm f =
 
 let set_restart t ~cvm f = (entry t cvm).e_restart_fn <- f
 let state t ~cvm = (entry t cvm).e_state
+let blackbox t ~cvm = (entry t cvm).e_blackbox
 let faults t ~cvm = (entry t cvm).e_faults
 let restarts t ~cvm = (entry t cvm).e_restarts
 let last_fault t ~cvm = (entry t cvm).e_last_fault
@@ -124,6 +132,8 @@ let set_state t e s =
   if old <> s then begin
     e.e_state <- s;
     Dsim.Metrics.set e.e_gauge (state_index s);
+    Dsim.Journal.note_supervisor ~cvm:e.e_name ~old_state:(state_name old)
+      ~new_state:(state_name s);
     match t.on_transition with
     | Some cb -> cb ~cvm:e.e_name ~old_state:old s
     | None -> ()
@@ -142,6 +152,56 @@ let close_window e ~now =
 let k_restart =
   Dsim.Profile.(key default) ~component:"intravisor" ~cvm:"supervisor"
     ~stage:"restart"
+
+(* Capability-fault drops accumulated in the process-global flow trace:
+   the black box carries this total so a dump can be cross-checked
+   against the drop ledger entry the same fault produced. *)
+let capability_drop_count () =
+  List.fold_left
+    (fun acc ((_, reason), n) ->
+      if reason = Dsim.Flowtrace.Capability_fault then acc + n else acc)
+    0
+    (Dsim.Flowtrace.drop_table Dsim.Flowtrace.default)
+
+(* The crash black box: the journal's always-on ring (last N completed
+   dispatches plus the in-flight faulting one) extended with the
+   supervisor's verdict and cross-references into the flow-trace drop
+   ledger and the capability provenance graph. Captured at the end of
+   containment, when the policy verdict and revocation count are
+   known; no I/O unless a dump directory is armed. *)
+let capture_blackbox t e fault ~now ~revoked =
+  let dump =
+    match Dsim.Journal.blackbox_json () with
+    | Dsim.Json.Obj fields ->
+      Dsim.Json.Obj
+        (fields
+        @ [
+            ("cvm", Dsim.Json.String e.e_name);
+            ("fault", Dsim.Json.String (Cheri.Fault.to_string fault));
+            ( "fault_seq",
+              Dsim.Json.Int
+                (match Dsim.Journal.in_flight () with
+                | Some d -> d.Dsim.Journal.d_seq
+                | None -> -1) );
+            ("verdict", Dsim.Json.String (state_name e.e_state));
+            ("faults", Dsim.Json.Int e.e_faults);
+            ("restarts", Dsim.Json.Int e.e_restarts);
+            ("at_ns", Dsim.Json.Int (Int64.to_int (Dsim.Time.to_ns now)));
+            ("flowtrace_capability_drops", Dsim.Json.Int (capability_drop_count ()));
+            ("provenance_revoked", Dsim.Json.Int revoked);
+            ( "provenance_live",
+              Dsim.Json.Int (Cheri.Provenance.live_count ~owner:e.e_name ()) );
+          ])
+    | other -> other
+  in
+  e.e_blackbox <- Some dump;
+  match t.blackbox_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (e.e_name ^ ".blackbox.json") in
+    Out_channel.with_open_bin path (fun oc ->
+        output_string oc (Dsim.Json.to_string dump);
+        output_char oc '\n')
 
 let backoff_delay t e =
   match e.e_policy with
@@ -169,6 +229,8 @@ let rec handle_fault t e fault =
   e.e_faults <- e.e_faults + 1;
   e.e_last_fault <- Some fault;
   e.e_trapped_at <- now;
+  Dsim.Journal.note_fault ~cvm:e.e_name
+    ~fault:(Cheri.Fault.to_string fault);
   set_state t e Trapped;
   List.iter
     (fun cleanup -> try cleanup () with _ -> ())
@@ -176,19 +238,21 @@ let rec handle_fault t e fault =
   (* Containment revokes the compartment's whole endowment — the audit
      ledger sees the teardown as a revocation storm, and any dangling
      dereference during quarantine surfaces as a temporal leak. *)
-  ignore
-    (Cheri.Provenance.revoke_owned ~owner:e.e_name
-       ~reason:"supervisor_cleanup");
+  let revoked =
+    Cheri.Provenance.revoke_owned ~owner:e.e_name
+      ~reason:"supervisor_cleanup"
+  in
   open_window e ~now;
   set_state t e Quarantined;
-  match e.e_policy with
+  (match e.e_policy with
   | Kill -> set_state t e Dead
   | Restart { budget; _ } when e.e_restarts >= budget -> set_state t e Dead
   | Restart _ ->
     let delay = backoff_delay t e in
     ignore
       (Dsim.Engine.schedule_l t.engine ~delay ~label:k_restart (fun () ->
-           attempt_restart t e))
+           attempt_restart t e)));
+  capture_blackbox t e fault ~now ~revoked
 
 and attempt_restart t e =
   set_state t e Restarting;

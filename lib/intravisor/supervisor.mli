@@ -83,4 +83,27 @@ val quarantine_windows :
 val set_on_transition :
   t -> (cvm:string -> old_state:state -> state -> unit) option -> unit
 (** Observe every lifecycle transition (chaos ledger resolution hooks
-    into this). *)
+    into this). Independently of the callback, every transition is
+    annotated into an armed {!Dsim.Journal} recording. *)
+
+(** {1 Crash black box}
+
+    At the end of every containment sequence the supervisor captures
+    the {!Dsim.Journal} crash ring — the last N completed dispatch
+    records plus the in-flight faulting one — extended with its
+    verdict and cross-references: the fault string, the faulting
+    dispatch's journal seq, the flow-trace capability-drop total the
+    same fault fed, and the provenance revocation count from the
+    quarantine teardown. *)
+
+val blackbox : t -> cvm:Cvm.t -> Dsim.Json.t option
+(** The dump from the cVM's most recent containment, or [None] if it
+    never trapped. Schema ["netrepro-blackbox/1"]: [ring], [in_flight],
+    [cvm], [fault], [fault_seq], [verdict], [faults], [restarts],
+    [at_ns], [flowtrace_capability_drops], [provenance_revoked],
+    [provenance_live]. *)
+
+val set_blackbox_dir : t -> string option -> unit
+(** When set, each containment also writes its dump to
+    [DIR/<cvm>.blackbox.json] (overwriting any previous dump for that
+    cVM). No I/O happens otherwise. *)

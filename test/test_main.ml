@@ -18,4 +18,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("audit", Test_audit.suite);
       ("profile", Test_profile.suite);
+      ("journal", Test_journal.suite);
     ]
