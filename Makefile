@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock audit profile perfdiff journal clean
+.PHONY: all build test check bench wallclock audit profile perfdiff journal shards clean
 
 all: build
 
@@ -49,6 +49,31 @@ journal:
 	dune exec bin/netrepro.exe -- jdiff \
 	  /tmp/netrepro-check.journal.jsonl /tmp/netrepro-check.journal.jsonl
 	@echo "journal: record/replay/jdiff round-trip OK"
+
+# Sharding smoke: Fig. 4 at --shards 1 must be byte-identical to the
+# default run (sharding is opt-in and invisible at one shard), Fig. 4
+# at --shards 4 interleaved must also be byte-identical (the shared
+# schedule-seq counter makes the dispatch order independent of shard
+# placement), and the seeded chaos run at --shards 4 interleaved must
+# still attribute every injected fault.
+shards:
+	dune exec bin/netrepro.exe -- fig4 --quick \
+	  > /tmp/netrepro-shards.base.txt
+	dune exec bin/netrepro.exe -- fig4 --quick --shards 1 \
+	  > /tmp/netrepro-shards.s1.txt
+	cmp /tmp/netrepro-shards.base.txt /tmp/netrepro-shards.s1.txt
+	@echo "shards: fig4 --shards 1 byte-identical to default"
+	dune exec bin/netrepro.exe -- fig4 --quick --shards 4 \
+	  > /tmp/netrepro-shards.s4.txt
+	cmp /tmp/netrepro-shards.base.txt /tmp/netrepro-shards.s4.txt
+	@echo "shards: fig4 --shards 4 interleaved byte-identical to default"
+	dune exec bin/netrepro.exe -- chaos --seed 42 --quick --shards 4 \
+	  > /tmp/netrepro-shards.chaos.txt \
+	  || { cat /tmp/netrepro-shards.chaos.txt; \
+	       echo "shards: chaos run failed"; exit 1; }
+	@grep -q "fault attribution: 100.0%" /tmp/netrepro-shards.chaos.txt \
+	  || { echo "shards: chaos attribution below 100% at 4 shards"; exit 1; }
+	@echo "shards: chaos --shards 4 interleaved attribution 100%"
 
 # Full gate: build, unit/property tests, then five smoke runs —
 # Table II with metrics enabled must expose the cross-layer instrument
@@ -110,6 +135,8 @@ check:
 	@echo "check: fig4 profile within 10% of checked-in baseline"
 	$(MAKE) journal
 	@echo "check: journal record/replay/jdiff round-trip clean"
+	$(MAKE) shards
+	@echo "check: sharded runs byte-identical, chaos attribution holds"
 	@echo "check: OK"
 
 clean:

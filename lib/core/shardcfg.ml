@@ -1,0 +1,25 @@
+(* Process-wide shard configuration for topology engines.
+
+   Scenario builders create their engines through {!engine} so one CLI
+   flag ([netrepro --shards N [--domains]]) reconfigures every
+   experiment without threading a parameter through each builder.
+   Interleaved shards (the default executor) are order-identical to a
+   single heap whatever [shards] is — see {!Dsim.Engine} — so flipping
+   this configuration never changes simulation results, only which heap
+   holds which event (and, with [domains], which core runs it). *)
+
+let shards = ref 1
+let domains = ref false
+
+let configure ~shards:n ~domains:d =
+  if n < 1 then invalid_arg "Shardcfg.configure: shards must be >= 1";
+  shards := n;
+  domains := d
+
+let engine ?seed () = Dsim.Engine.create ~shards:!shards ~domains:!domains ?seed ()
+
+(* Placement helper: build subsystem [i] of a replicated topology on
+   shard [i mod shards] (identity placement when unsharded). *)
+let with_placement eng i f =
+  let n = Dsim.Engine.shard_count eng in
+  Dsim.Engine.with_shard eng (i mod n) f

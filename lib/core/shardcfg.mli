@@ -1,0 +1,20 @@
+(** Process-wide shard configuration for topology engines.
+
+    [netrepro --shards N [--domains]] calls {!configure} once at
+    startup; every scenario builder then creates its engine via
+    {!engine}. Interleaved shards are dispatch-order-identical to a
+    single heap ({!Dsim.Engine}), so the default configuration
+    reproduces the unsharded simulator exactly. *)
+
+val shards : int ref
+val domains : bool ref
+
+val configure : shards:int -> domains:bool -> unit
+(** @raise Invalid_argument when [shards < 1]. *)
+
+val engine : ?seed:int64 -> unit -> Dsim.Engine.t
+(** A fresh engine with the configured shard count and executor. *)
+
+val with_placement : Dsim.Engine.t -> int -> (unit -> 'a) -> 'a
+(** [with_placement eng i f] builds replica [i] of a repeated subsystem
+    on shard [i mod shard_count] ({!Dsim.Engine.with_shard}). *)

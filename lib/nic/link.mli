@@ -28,6 +28,17 @@ val overhead_bytes : int
 val create :
   Dsim.Engine.t -> ?bps:float -> ?prop_delay:Dsim.Time.t -> unit -> t
 
+val rent : t -> int -> bytes
+(** Rent an exact-[len] frame buffer from the link's recycling pool
+    (fresh allocation when the pool is dry). The pool is per-link so
+    links on different engine shards share no mutable state under the
+    domains executor; a frame rented by one endpoint's TX DMA is
+    {!release}d by the peer endpoint's RX completion. *)
+
+val release : t -> bytes -> unit
+(** Return a buffer to the pool (dropped if the pool is at depth). The
+    buffer must be dead: the renter overwrites it fully before use. *)
+
 val attach :
   t ->
   endpoint ->

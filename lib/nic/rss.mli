@@ -1,0 +1,33 @@
+(** Receive-side scaling: Toeplitz 5-tuple flow steering.
+
+    A hash over (src ip, dst ip, src port, dst port, proto) indexed
+    into a 128-entry indirection table (RETA) picks the RX queue for
+    each IPv4 frame. Classification is deterministic in the frame
+    bytes and the configuration: a flow always lands on one queue, in
+    arrival order. Non-IPv4 frames fall to queue 0 (the default
+    queue), like hardware. *)
+
+type t
+
+val reta_size : int
+(** Indirection-table entries (128, the igb value). *)
+
+val create : ?key:bytes -> queues:int -> unit -> t
+(** [key] is the 40-byte Toeplitz key (default: the Microsoft
+    reference key). The RETA resets to round-robin over [queues]. *)
+
+val queues : t -> int
+
+val set_reta : t -> entry:int -> queue:int -> unit
+(** Repoint one indirection-table entry. *)
+
+val hash_input : t -> bytes -> int
+(** Raw 32-bit Toeplitz hash of a packed input (exposed for tests). *)
+
+val five_tuple : bytes -> bytes option
+(** Packed 13-byte 5-tuple of an Ethernet frame, [None] if not IPv4.
+    Non-TCP/UDP protocols hash with zeroed ports. *)
+
+val classify : t -> bytes -> int
+(** RX queue for a frame: [0] when single-queue or non-IPv4, otherwise
+    [reta[toeplitz(5-tuple) mod 128]]. *)

@@ -444,6 +444,35 @@ let jdiff_equivalent_and_divergent () =
               Alcotest.(check bool) "drift table rendered" true
                 (Astring_contains.contains r.Core.Jdiff.text "per-component drift"))))
 
+(* Schema 2: every dispatch record carries the shard that executed it.
+   Three one-shot events placed on shards 0, 1, 2 of a 3-shard engine
+   fire in delay order, so record [i] must carry shard [i]. *)
+let shard_ids_recorded () =
+  jreset ();
+  let sharded_run () =
+    let engine = Dsim.Engine.create ~shards:3 () in
+    for i = 0 to 2 do
+      Dsim.Engine.with_shard engine i (fun () ->
+          ignore
+            (Dsim.Engine.schedule_l engine
+               ~delay:(Time.us (i + 1))
+               ~label:k_a
+               (fun () -> ())))
+    done;
+    Dsim.Engine.run_until_quiet engine
+  in
+  let s = record_to_string sharded_run in
+  match J.load_string s with
+  | Error m -> Alcotest.failf "load_string: %s" m
+  | Ok l ->
+    Alcotest.(check int) "three dispatches" 3 (J.dispatch_count l);
+    for i = 0 to 2 do
+      Alcotest.(check int)
+        (Printf.sprintf "dispatch %d on shard %d" i i)
+        i
+        (J.dispatch_at l i).J.d_shard
+    done
+
 let suite =
   [
     Alcotest.test_case "journal round-trips through JSONL" `Quick roundtrip;
@@ -473,4 +502,6 @@ let suite =
       annotations_recorded;
     Alcotest.test_case "jdiff equivalence and first divergence" `Quick
       jdiff_equivalent_and_divergent;
+    Alcotest.test_case "dispatch records carry shard ids" `Quick
+      shard_ids_recorded;
   ]

@@ -2,10 +2,12 @@ let () =
   Alcotest.run "cheri-netstack"
     [
       ("dsim", Test_dsim.suite);
+      ("shards", Test_shards.suite);
       ("metrics", Test_metrics.suite);
       ("flowtrace", Test_flowtrace.suite);
       ("cheri", Test_cheri.suite);
       ("nic", Test_nic.suite);
+      ("rss", Test_rss.suite);
       ("dpdk", Test_dpdk.suite);
       ("wire", Test_wire.suite @ Test_wire.unit_suite);
       ("tcp", Test_tcp.suite);

@@ -1,0 +1,244 @@
+(* Tests for the sharded event engine: placement, per-shard
+   accounting, the interleaved executor's order-identity with the
+   single-heap engine, cross-shard scheduling, and the opt-in
+   domain-per-shard executor (mailbox delivery, per-seed
+   determinism, parallel_shard visibility). *)
+
+let nolabel = Dsim.Profile.(key default) ~component:"test" ~cvm:"shards" ~stage:"ev"
+
+(* A deterministic multi-shard program: [n] self-rescheduling chains,
+   chain [i] built under placement shard [i mod shards], stepping at
+   co-prime periods so dispatches interleave non-trivially. Each
+   dispatch appends (chain, tick, now) to [trace]. *)
+let run_chains ~shards ?(domains = false) ~chains ~ticks () =
+  let e = Dsim.Engine.create ~shards ~domains () in
+  let trace = ref [] in
+  for i = 0 to chains - 1 do
+    Dsim.Engine.with_shard e (i mod shards) (fun () ->
+        let period = Dsim.Time.us ((3 * i) + 7) in
+        let rec step tick () =
+          trace := (i, tick, Dsim.Engine.now e) :: !trace;
+          if tick < ticks then
+            ignore
+              (Dsim.Engine.schedule_l e ~delay:period ~label:nolabel
+                 (step (tick + 1)))
+        in
+        ignore (Dsim.Engine.schedule_l e ~delay:period ~label:nolabel (step 1)))
+  done;
+  Dsim.Engine.run_until_quiet e;
+  (e, List.rev !trace)
+
+let interleaved_order_matches_single_heap () =
+  let _, t1 = run_chains ~shards:1 ~chains:6 ~ticks:40 () in
+  List.iter
+    (fun shards ->
+      let _, tn = run_chains ~shards ~chains:6 ~ticks:40 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-shard interleaved trace = 1-shard trace" shards)
+        true (t1 = tn))
+    [ 2; 3; 4 ]
+
+let placement_lands_on_target_shard () =
+  let e = Dsim.Engine.create ~shards:4 () in
+  Dsim.Engine.with_shard e 2 (fun () ->
+      ignore
+        (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 1) ~label:nolabel
+           (fun () -> ())));
+  Alcotest.(check int) "pending on shard 2" 1 (Dsim.Engine.shard_pending e 2);
+  Alcotest.(check int) "no strays on shard 0" 0 (Dsim.Engine.shard_pending e 0);
+  (* Events scheduled from a handler stay on the dispatching shard. *)
+  Dsim.Engine.with_shard e 3 (fun () ->
+      ignore
+        (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 2) ~label:nolabel
+           (fun () ->
+             ignore
+               (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 1) ~label:nolabel
+                  (fun () -> ())))));
+  ignore (Dsim.Engine.step e);
+  (* shard 2's event fired first (us 1 < us 2) *)
+  ignore (Dsim.Engine.step e);
+  Alcotest.(check int) "reschedule stayed on shard 3" 1
+    (Dsim.Engine.shard_pending e 3);
+  Dsim.Engine.run_until_quiet e
+
+let per_shard_counters_sum () =
+  let e, trace = run_chains ~shards:4 ~chains:8 ~ticks:25 () in
+  let total = Dsim.Engine.events_fired e in
+  Alcotest.(check int) "trace covers every dispatch" (List.length trace) total;
+  let summed = ref 0 in
+  for s = 0 to 3 do
+    let f = Dsim.Engine.shard_events_fired e s in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d fired some" s)
+      true (f > 0);
+    summed := !summed + f
+  done;
+  Alcotest.(check int) "per-shard counters sum to total" total !summed
+
+let shard_rngs_are_distinct_streams () =
+  let e = Dsim.Engine.create ~shards:3 ~seed:99L () in
+  let draw s = Dsim.Rng.int (Dsim.Engine.shard_rng e s) 1_000_000 in
+  let a = draw 0 and b = draw 1 and c = draw 2 in
+  Alcotest.(check bool) "streams differ" true (a <> b || b <> c);
+  (* Same seed, fresh engine: same streams. *)
+  let e2 = Dsim.Engine.create ~shards:3 ~seed:99L () in
+  Alcotest.(check int) "shard 1 stream reproducible" b
+    (Dsim.Rng.int (Dsim.Engine.shard_rng e2 1) 1_000_000)
+
+let cross_shard_schedule_on_serial () =
+  let e = Dsim.Engine.create ~shards:2 () in
+  let hits = ref [] in
+  Dsim.Engine.with_shard e 0 (fun () ->
+      ignore
+        (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 5) ~label:nolabel
+           (fun () ->
+             hits := `On0 :: !hits;
+             Dsim.Engine.schedule_on e ~shard:1
+               ~at:(Dsim.Time.add (Dsim.Engine.now e) (Dsim.Time.us 5))
+               ~label:nolabel
+               (fun () -> hits := `On1 :: !hits))));
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check bool) "both fired, sender first" true
+    (List.rev !hits = [ `On0; `On1 ]);
+  Alcotest.(check int) "receiver shard executed it" 1
+    (Dsim.Engine.shard_events_fired e 1)
+
+let parallel_shard_zero_in_serial () =
+  let e = Dsim.Engine.create ~shards:4 () in
+  let seen = ref [] in
+  for i = 0 to 3 do
+    Dsim.Engine.with_shard e i (fun () ->
+        ignore
+          (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 1) ~label:nolabel
+             (fun () -> seen := Dsim.Engine.parallel_shard e :: !seen)))
+  done;
+  Dsim.Engine.run_until_quiet e;
+  Alcotest.(check (list int)) "always 0 under interleaving" [ 0; 0; 0; 0 ] !seen
+
+(* ------------------------------------------------------------------ *)
+(* Domains executor                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each shard records into its own slot, so the recording itself is
+   race-free; slots are only read after [run] returns (domains
+   joined). *)
+let domains_runs_chains () =
+  let shards = 2 in
+  let e = Dsim.Engine.create ~shards ~domains:true () in
+  let per_shard = Array.make shards [] in
+  for i = 0 to shards - 1 do
+    Dsim.Engine.with_shard e i (fun () ->
+        let rec step tick () =
+          let sid = Dsim.Engine.parallel_shard e in
+          per_shard.(i) <- (tick, sid) :: per_shard.(i);
+          if tick < 30 then
+            ignore
+              (Dsim.Engine.schedule_l e
+                 ~delay:(Dsim.Time.us ((10 * i) + 5))
+                 ~label:nolabel (step (tick + 1)))
+        in
+        ignore
+          (Dsim.Engine.schedule_l e
+             ~delay:(Dsim.Time.us ((10 * i) + 5))
+             ~label:nolabel (step 1)))
+  done;
+  Dsim.Engine.run e ~until:(Dsim.Time.ms 10);
+  for i = 0 to shards - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "shard %d ran its chain" i)
+      30
+      (List.length per_shard.(i));
+    (* While the domains executor drives, parallel_shard names the
+       executing shard. *)
+    List.iter
+      (fun (_, sid) ->
+        Alcotest.(check int) "parallel_shard = executing shard" i sid)
+      per_shard.(i)
+  done
+
+let domains_mailbox_delivery () =
+  let e = Dsim.Engine.create ~shards:2 ~domains:true () in
+  let got = ref None in
+  Dsim.Engine.with_shard e 0 (fun () ->
+      ignore
+        (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 50) ~label:nolabel
+           (fun () ->
+             Dsim.Engine.schedule_on e ~shard:1
+               ~at:(Dsim.Time.add (Dsim.Engine.now e) (Dsim.Time.us 100))
+               ~label:nolabel
+               (fun () ->
+                 got :=
+                   Some
+                     ( Dsim.Engine.parallel_shard e,
+                       Dsim.Engine.now e )))));
+  (* Keep shard 1 alive past the delivery horizon so the mailbox event
+     has a rendezvous to materialize at. *)
+  Dsim.Engine.with_shard e 1 (fun () ->
+      let rec tick n () =
+        if n < 40 then
+          ignore
+            (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 100) ~label:nolabel
+               (tick (n + 1)))
+      in
+      ignore
+        (Dsim.Engine.schedule_l e ~delay:(Dsim.Time.us 100) ~label:nolabel
+           (tick 1)));
+  Dsim.Engine.run e ~until:(Dsim.Time.ms 20);
+  match !got with
+  | None -> Alcotest.fail "cross-shard event never delivered"
+  | Some (sid, at) ->
+    Alcotest.(check int) "executed by target shard" 1 sid;
+    (* Delivery may be clamped later than the requested virtual time
+       (bounded by one quantum), never earlier. *)
+    Alcotest.(check bool) "not delivered early" true
+      Dsim.Time.(at >= Dsim.Time.us 150)
+
+let domains_deterministic_per_seed () =
+  let run () =
+    let shards = 2 in
+    let e = Dsim.Engine.create ~shards ~domains:true ~seed:7L () in
+    let per_shard = Array.make shards [] in
+    for i = 0 to shards - 1 do
+      Dsim.Engine.with_shard e i (fun () ->
+          let rec step tick () =
+            per_shard.(i) <-
+              (tick, Dsim.Engine.now e, Dsim.Rng.int (Dsim.Engine.rng e) 1000)
+              :: per_shard.(i);
+            if tick < 50 then
+              ignore
+                (Dsim.Engine.schedule_l e
+                   ~delay:(Dsim.Time.us ((7 * i) + 13))
+                   ~label:nolabel (step (tick + 1)))
+          in
+          ignore
+            (Dsim.Engine.schedule_l e
+               ~delay:(Dsim.Time.us ((7 * i) + 13))
+               ~label:nolabel (step 1)))
+    done;
+    Dsim.Engine.run e ~until:(Dsim.Time.ms 10);
+    Array.map List.rev per_shard
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same per-shard histories" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "interleaved order = single-heap order" `Quick
+      interleaved_order_matches_single_heap;
+    Alcotest.test_case "placement lands on target shard" `Quick
+      placement_lands_on_target_shard;
+    Alcotest.test_case "per-shard counters sum to total" `Quick
+      per_shard_counters_sum;
+    Alcotest.test_case "per-shard rng streams" `Quick
+      shard_rngs_are_distinct_streams;
+    Alcotest.test_case "cross-shard schedule_on (serial)" `Quick
+      cross_shard_schedule_on_serial;
+    Alcotest.test_case "parallel_shard is 0 in serial modes" `Quick
+      parallel_shard_zero_in_serial;
+    Alcotest.test_case "domains: chains run, parallel_shard visible" `Quick
+      domains_runs_chains;
+    Alcotest.test_case "domains: cross-shard mailbox delivery" `Quick
+      domains_mailbox_delivery;
+    Alcotest.test_case "domains: per-seed determinism" `Quick
+      domains_deterministic_per_seed;
+  ]
