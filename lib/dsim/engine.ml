@@ -16,9 +16,11 @@ type handle = {
 
 (* One shard: its own heap, clock, seq stream (parallel mode), fired
    counter and RNG stream. The inbox is a per-producer mailbox array:
-   slot [src] is written only by shard [src] between rendezvous points
-   and drained only by the owner at a rendezvous, so the barrier's
-   mutex provides the only synchronization either side needs. *)
+   slot [src] is written only by shard [src] inside its execution
+   window and drained only by the owner after the post-window barrier
+   (barrier C in [run_domains]), so the two sides never touch a queue
+   concurrently and the barrier's mutex provides the only
+   synchronization either needs. *)
 and shard = {
   sid : int;
   heap : handle Heap.t;
@@ -178,12 +180,8 @@ let schedule_on t ~shard:sid ~at ~label fn =
     if me = sid then ignore (schedule_parallel t ~at ~label fn)
     else Queue.push { m_at = at; m_label = label; m_fn = fn } t.shards.(sid).inbox.(me)
   end
-  else begin
-    let saved = t.cur_shard in
-    t.cur_shard <- sid;
-    ignore (schedule_at_l t ~at ~label fn);
-    t.cur_shard <- saved
-  end
+  else
+    with_shard t sid (fun () -> ignore (schedule_at_l t ~at ~label fn))
 
 (* Rebuild a shard's heap without cancelled entries. Re-pushing
    preserves the (time, seq) order, so compaction cannot perturb event
@@ -430,13 +428,30 @@ let run_shard_window sh ~until =
   in
   loop ()
 
-(* Conservative window protocol: every shard publishes its next pending
-   deadline, shard 0 computes the global minimum M, and all shards then
-   execute events with deadline <= M + quantum before meeting again.
-   The horizon is a pure function of virtual time, so runs are
-   per-seed deterministic; a shard never needs to look inside a
-   sibling's window because cross-shard sends materialize only at the
-   next rendezvous (lowest-virtual-time-wins, FIFO per producer). *)
+(* Conservative window protocol, three barriers per round:
+
+     drain inboxes; publish next_at
+     --- barrier A ---           (every deadline published)
+     shard 0 folds the minimum M into a horizon
+     --- barrier B ---           (horizon visible to all)
+     execute events with deadline <= M + quantum
+     --- barrier C ---           (every producer's window closed)
+     loop
+
+   Barrier C is load-bearing twice over. It keeps the inbox slots
+   single-threaded: a producer only pushes into a sibling's slot
+   inside its window, so without C a fast shard could loop around and
+   drain a slot while its producer is still pushing (Stdlib.Queue is
+   not thread-safe, and delivery timing would leak wall-clock order
+   into virtual time). And it makes quiescence exact: the next round's
+   drain runs after *all* windows closed and before next_at is
+   published, so mail sent during a shard's final window surfaces as a
+   pending deadline instead of every shard publishing None and
+   stranding the event. The horizon is a pure function of virtual
+   time, so runs are per-seed deterministic; a shard never needs to
+   look inside a sibling's window because cross-shard sends
+   materialize only at the next rendezvous (lowest-virtual-time-wins,
+   FIFO per producer). *)
 let run_domains ?until t =
   let n = Array.length t.shards in
   Array.iter
@@ -487,12 +502,15 @@ let run_domains ?until t =
         let w_end = !horizon in
         (try run_shard_window sh ~until:w_end
          with e ->
-           (* Keep meeting the barrier so siblings cannot deadlock;
+           (* Keep meeting the barriers so siblings cannot deadlock;
               the primary domain re-raises after the join. *)
            failure.(sid) <- Some e;
            Heap.clear sh.heap;
            sh.s_live <- 0);
         sh.s_clock <- Time.max sh.s_clock w_end;
+        (* Barrier C: no shard may drain its inboxes (or publish its
+           next deadline) until every producer's window has closed. *)
+        Barrier.wait barrier;
         loop ()
       end
     in

@@ -41,9 +41,10 @@ let set_reta t ~entry ~queue =
   t.reta.(entry) <- queue
 
 (* Toeplitz: the hash is the XOR of a sliding 32-bit window of the key
-   at every set input bit, MSB first. [input] is the packed 5-tuple
-   (src ip, dst ip, src port, dst port, proto = 13 bytes), so the key's
-   40 bytes cover 32 + 104 window positions with room to spare. *)
+   at every set input bit, MSB first. [input] is the packed tuple from
+   [five_tuple] — 12 bytes (src ip, dst ip, src port, dst port) for
+   TCP/UDP or 8 bytes (src ip, dst ip) otherwise — so the key's 40
+   bytes cover 32 + 96 window positions with room to spare. *)
 let hash_input t input =
   let key = t.key in
   let window =
@@ -71,10 +72,17 @@ let hash_input t input =
   done;
   !result
 
-(* Pack the 5-tuple straight off an Ethernet frame: no allocation
-   beyond the 13-byte scratch (only reached when queues > 1). Returns
-   None for non-IPv4 frames (ARP, runts) — those fall to queue 0, like
-   hardware delivering un-hashable traffic to the default queue. *)
+(* Pack the hash tuple straight off an Ethernet frame: no allocation
+   beyond the tuple scratch (only reached when queues > 1). TCP/UDP
+   frames yield the standard 12-byte RSS TCP/IPv4 input, everything
+   else the 8-byte IPv4 2-tuple — matching hardware hash types, so
+   hash values line up with the Microsoft verification vectors and
+   real-NIC captures. A fragmented datagram (fragment offset or MF
+   set) also falls back to the 2-tuple, igb-style: non-first fragments
+   carry no L4 header, and hashing payload bytes as ports would scatter
+   one flow's fragments across queues. Returns None for non-IPv4
+   frames (ARP, runts) — those fall to queue 0, like hardware
+   delivering un-hashable traffic to the default queue. *)
 let five_tuple frame =
   let len = Bytes.length frame in
   if
@@ -85,14 +93,23 @@ let five_tuple frame =
     let ihl = Char.code (Bytes.get frame 14) land 0x0f in
     let l4 = 14 + (ihl * 4) in
     let proto = Char.code (Bytes.get frame 23) in
-    let tuple = Bytes.create 13 in
-    Bytes.blit frame 26 tuple 0 8;
-    (* src + dst ip *)
-    (if (proto = 6 || proto = 17) && len >= l4 + 4 then
-       Bytes.blit frame l4 tuple 8 4
-     else Bytes.fill tuple 8 4 '\x00');
-    Bytes.set tuple 12 (Char.chr proto);
-    Some tuple
+    let fragmented =
+      (Char.code (Bytes.get frame 20) land 0x3f) lor Char.code (Bytes.get frame 21)
+      <> 0
+    in
+    if (proto = 6 || proto = 17) && (not fragmented) && len >= l4 + 4 then begin
+      let tuple = Bytes.create 12 in
+      Bytes.blit frame 26 tuple 0 8;
+      (* src + dst ip *)
+      Bytes.blit frame l4 tuple 8 4;
+      (* src + dst port *)
+      Some tuple
+    end
+    else begin
+      let tuple = Bytes.create 8 in
+      Bytes.blit frame 26 tuple 0 8;
+      Some tuple
+    end
   end
   else None
 

@@ -1,8 +1,9 @@
 (** Receive-side scaling: Toeplitz 5-tuple flow steering.
 
-    A hash over (src ip, dst ip, src port, dst port, proto) indexed
-    into a 128-entry indirection table (RETA) picks the RX queue for
-    each IPv4 frame. Classification is deterministic in the frame
+    A hash over (src ip, dst ip, src port, dst port) — or the
+    (src ip, dst ip) 2-tuple for non-TCP/UDP traffic and IPv4
+    fragments — indexed into a 128-entry indirection table (RETA)
+    picks the RX queue for each IPv4 frame. Classification is deterministic in the frame
     bytes and the configuration: a flow always lands on one queue, in
     arrival order. Non-IPv4 frames fall to queue 0 (the default
     queue), like hardware. *)
@@ -25,8 +26,12 @@ val hash_input : t -> bytes -> int
 (** Raw 32-bit Toeplitz hash of a packed input (exposed for tests). *)
 
 val five_tuple : bytes -> bytes option
-(** Packed 13-byte 5-tuple of an Ethernet frame, [None] if not IPv4.
-    Non-TCP/UDP protocols hash with zeroed ports. *)
+(** Packed Toeplitz input of an Ethernet frame, [None] if not IPv4:
+    12 bytes (src ip, dst ip, src port, dst port) for unfragmented
+    TCP/UDP — the standard RSS TCP/IPv4 input, comparable against the
+    Microsoft verification vectors — else the 8-byte (src ip, dst ip)
+    2-tuple (also used for fragments, so all fragments of a datagram
+    steer to one queue). *)
 
 val classify : t -> bytes -> int
 (** RX queue for a frame: [0] when single-queue or non-IPv4, otherwise

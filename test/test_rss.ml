@@ -121,6 +121,67 @@ let rss_hash_sensitivity () =
       Alcotest.(check bool) (name ^ " perturbs hash") true (hash_of f <> h0))
     tweaks
 
+let ip a b c d =
+  Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+
+(* The Microsoft RSS verification suite for the default key:
+   (src, sport, dst, dport, TCP/IPv4 hash, IPv4-only hash). Pins the
+   hash input layout — 12-byte (src ip, dst ip, src port, dst port)
+   for TCP, 8-byte 2-tuple otherwise — to the values real NICs
+   compute. *)
+let microsoft_vectors =
+  [
+    ((66, 9, 149, 187), 2794, (161, 142, 100, 80), 1766, 0x51ccc178, 0x323e8fc2);
+    ((199, 92, 111, 2), 14230, (65, 69, 140, 83), 4739, 0xc626b0ea, 0xd718262a);
+    ((24, 19, 198, 95), 12898, (12, 22, 207, 184), 38024, 0x5c2b394a, 0xd2d0a5de);
+    ((38, 27, 205, 30), 48228, (209, 142, 163, 6), 2217, 0xafc7327f, 0x82989176);
+    ((153, 39, 163, 191), 44251, (202, 188, 127, 2), 1303, 0x10e828a2, 0x5d1809c5);
+  ]
+
+let rss_matches_microsoft_vectors () =
+  let rss = Nic.Rss.create ~queues:4 () in
+  let hash_of f =
+    match Nic.Rss.five_tuple f with
+    | Some t -> Nic.Rss.hash_input rss t
+    | None -> Alcotest.fail "expected IPv4 tuple"
+  in
+  List.iter
+    (fun ((sa, sb, sc, sd), sport, (da, db, dc, dd), dport, tcp_h, ip_h) ->
+      let src_ip = ip sa sb sc sd and dst_ip = ip da db dc dd in
+      let tcp = ipv4_udp_frame ~proto:6 ~src_ip ~dst_ip ~sport ~dport () in
+      Alcotest.(check int) "TCP/IPv4 hash matches vector" tcp_h (hash_of tcp);
+      (* Non-TCP/UDP hashes the 2-tuple: the IPv4-only vector. *)
+      let other =
+        ipv4_udp_frame ~proto:99 ~src_ip ~dst_ip ~sport:0 ~dport:0 ()
+      in
+      Alcotest.(check int) "IPv4-only hash matches vector" ip_h (hash_of other))
+    microsoft_vectors
+
+(* Fragments carry no trustworthy L4 header, so they hash the 2-tuple:
+   every fragment of a datagram — whatever bytes sit at the port
+   offsets — steers to the same queue as the rest of its flow's
+   fragments. *)
+let rss_fragments_fall_back_to_2tuple () =
+  let rss = Nic.Rss.create ~queues:4 () in
+  let src_ip = ip 10 1 2 3 and dst_ip = ip 10 99 0 1 in
+  (* First fragment: MF set, offset 0, real UDP header. *)
+  let first = ipv4_udp_frame ~src_ip ~dst_ip ~sport:7777 ~dport:5400 () in
+  Bytes.set_uint16_be first 20 0x2000;
+  (* Later fragment: payload bytes where the ports would be. *)
+  let later = ipv4_udp_frame ~src_ip ~dst_ip ~sport:0xdead ~dport:0xbeef () in
+  Bytes.set_uint16_be later 20 0x00b9;
+  (match Nic.Rss.five_tuple later with
+  | Some t -> Alcotest.(check int) "fragment tuple is the 2-tuple" 8 (Bytes.length t)
+  | None -> Alcotest.fail "expected IPv4 tuple");
+  let q_first = Nic.Rss.classify rss first
+  and q_later = Nic.Rss.classify rss later in
+  Alcotest.(check int) "all fragments on one queue" q_first q_later;
+  (* And that queue is the flow's 2-tuple queue, shared with other
+     non-TCP/UDP traffic between the same endpoints. *)
+  let icmpish = ipv4_udp_frame ~proto:1 ~src_ip ~dst_ip ~sport:0 ~dport:0 () in
+  Alcotest.(check int) "fragments follow the 2-tuple steering"
+    (Nic.Rss.classify rss icmpish) q_first
+
 (* ------------------------------------------------------------------ *)
 (* Multi-queue igb receive path                                         *)
 (* ------------------------------------------------------------------ *)
@@ -272,6 +333,10 @@ let suite =
     Alcotest.test_case "rss: RETA repoint" `Quick rss_reta_repoint;
     Alcotest.test_case "rss: hash depends on every tuple field" `Quick
       rss_hash_sensitivity;
+    Alcotest.test_case "rss: Microsoft verification vectors" `Quick
+      rss_matches_microsoft_vectors;
+    Alcotest.test_case "rss: fragments fall back to the 2-tuple" `Quick
+      rss_fragments_fall_back_to_2tuple;
     Alcotest.test_case "igb: frames steered to classified queue" `Quick
       igb_rss_steers_to_classified_queue;
     Alcotest.test_case "igb: no intra-flow reordering" `Quick
