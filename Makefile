@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock audit profile perfdiff journal shards clean
+.PHONY: all build test check bench wallclock audit attack profile perfdiff journal shards clean
 
 all: build
 
@@ -22,6 +22,35 @@ wallclock:
 # violation or a Scenario 2 surface not smaller than Scenario 1's).
 audit:
 	dune exec bin/netrepro.exe -- audit --quick
+
+# Red-team smoke: the seeded hostile-packet corpus against all three
+# scenarios, twice. The run must be byte-identical across the two
+# invocations (text and JSON), every attack in the CHERI scenarios
+# must end caught-and-attributed, and the overall containment verdict
+# must be PASS (baseline leak recorded, sibling goodput >= 0.9x,
+# mutex free, pool recovered). Exits non-zero otherwise.
+attack:
+	dune exec bin/netrepro.exe -- attack net --seed 42 --quick \
+	  --json /tmp/netrepro-attack.1.json > /tmp/netrepro-attack.1.txt \
+	  || { cat /tmp/netrepro-attack.1.txt; \
+	       echo "attack: run failed containment gates"; exit 1; }
+	dune exec bin/netrepro.exe -- attack net --seed 42 --quick \
+	  --json /tmp/netrepro-attack.2.json > /tmp/netrepro-attack.2.txt \
+	  || { cat /tmp/netrepro-attack.2.txt; \
+	       echo "attack: second run failed containment gates"; exit 1; }
+	@sed 's|/tmp/netrepro-attack.[12].json|JSON|' \
+	  /tmp/netrepro-attack.1.txt > /tmp/netrepro-attack.1.norm.txt
+	@sed 's|/tmp/netrepro-attack.[12].json|JSON|' \
+	  /tmp/netrepro-attack.2.txt > /tmp/netrepro-attack.2.norm.txt
+	cmp /tmp/netrepro-attack.1.norm.txt /tmp/netrepro-attack.2.norm.txt
+	cmp /tmp/netrepro-attack.1.json /tmp/netrepro-attack.2.json
+	@echo "attack: report byte-identical across two runs"
+	@grep -q "caught-and-attributed (CHERI scenarios): 100.0%" \
+	  /tmp/netrepro-attack.1.txt \
+	  || { echo "attack: CHERI scenarios let an attack through"; exit 1; }
+	@grep -q "verdict: PASS" /tmp/netrepro-attack.1.txt \
+	  || { echo "attack: containment verdict not PASS"; exit 1; }
+	@echo "attack: 100% caught-and-attributed, containment PASS"
 
 # Wall-clock profile of the Fig. 4 run: hotspot table, capacity
 # watermarks and backpressure stalls on stdout, flamegraph-ready
@@ -81,7 +110,9 @@ shards:
 # must produce an analyzable trace covering the measurement stages,
 # the seeded chaos run must attribute or recover every injected fault,
 # the capability audit must find zero invariant violations on the
-# stock scenarios, the wall-clock bench must keep the ff_write
+# stock scenarios, the red-team packet corpus must be deterministic
+# and fully caught-and-attributed in the CHERI scenarios with the
+# containment verdict PASS, the wall-clock bench must keep the ff_write
 # fast path within its minor-allocation budget (the zero-copy
 # regression gate), the profiled Fig. 4 run must attribute its
 # wall time and hold against the checked-in perf baseline, and a
@@ -124,6 +155,8 @@ check:
 	  /tmp/netrepro-check.audit.txt \
 	  || { echo "check: audit found invariant violations"; exit 1; }
 	@echo "check: capability audit clean on stock scenarios"
+	$(MAKE) attack
+	@echo "check: red-team corpus contained and attributed"
 	dune exec bench/main.exe -- wallclock quick
 	$(MAKE) profile > /tmp/netrepro-check.profile.txt \
 	  || { cat /tmp/netrepro-check.profile.txt; \

@@ -225,17 +225,21 @@ let run_analyze file =
     Printf.eprintf "netrepro analyze: %s\n" msg;
     1
 
-let run_profile exp_id quick out_prefix =
+let run_profile exp_id quick runs out_prefix =
   match Core.Experiment.find exp_id with
   | None ->
     Printf.eprintf "unknown experiment: %s\nknown: %s\n" exp_id
       (String.concat ", " (Core.Experiment.ids ()));
     2
   | Some spec ->
+    if runs < 1 then begin
+      Printf.eprintf "netrepro: --runs must be >= 1\n";
+      exit 2
+    end;
     let profile =
       if quick then Core.Experiment.quick else Core.Experiment.full
     in
-    let r = Core.Profile_experiment.run ~profile spec in
+    let r = Core.Profile_experiment.run ~profile ~runs spec in
     Printf.printf "=== %s (%s): %s ===\n%s\n\n" spec.Core.Experiment.id
       spec.Core.Experiment.paper_ref spec.Core.Experiment.title
       r.Core.Profile_experiment.experiment_text;
@@ -284,6 +288,54 @@ let run_attacks () =
     (Core.Attack.run_all ());
   0
 
+(* The supervisor writes <cvm>.blackbox.json into the directory as
+   faults land mid-run; make sure it exists up front so a typo'd path
+   fails here and not as an uncaught Sys_error at the first trap. *)
+let ensure_blackbox_dir dir k =
+  match dir with
+  | None -> k ()
+  | Some d -> (
+    let rec mkdirs d =
+      if not (Sys.file_exists d) then begin
+        let parent = Filename.dirname d in
+        if parent <> d then mkdirs parent;
+        try Sys.mkdir d 0o755 with Sys_error _ when Sys.is_directory d -> ()
+      end
+    in
+    match
+      mkdirs d;
+      if not (Sys.is_directory d) then
+        raise (Sys_error (d ^ ": not a directory"))
+    with
+    | () -> k ()
+    | exception Sys_error msg ->
+      Printf.eprintf "netrepro: cannot use blackbox dir: %s\n" msg;
+      1)
+
+let run_attack_net seed quick json_file blackbox_dir =
+  ensure_blackbox_dir blackbox_dir @@ fun () ->
+  let profile =
+    if quick then Core.Attack_traffic.quick else Core.Attack_traffic.full
+  in
+  let report = Core.Attack_traffic.run ~profile ?blackbox_dir ~seed () in
+  print_string report.Core.Attack_traffic.text;
+  flush stdout;
+  let ok_json =
+    match json_file with
+    | None -> true
+    | Some path -> (
+      match
+        write_file path (Dsim.Json.to_string report.Core.Attack_traffic.json)
+      with
+      | () ->
+        Printf.printf "wrote %s\n" path;
+        true
+      | exception Sys_error msg ->
+        Printf.eprintf "netrepro: cannot write %s\n" msg;
+        false)
+  in
+  if report.Core.Attack_traffic.pass && ok_json then 0 else 1
+
 let run_audit seed quick json_file =
   let profile =
     if quick then Core.Audit_experiment.quick else Core.Audit_experiment.full
@@ -306,6 +358,7 @@ let run_audit seed quick json_file =
   if report.Core.Audit_experiment.pass && ok_json then 0 else 1
 
 let run_chaos seed quick journal blackbox_dir =
+  ensure_blackbox_dir blackbox_dir @@ fun () ->
   refuse_journal_with_domains journal;
   let profile =
     if quick then Core.Chaos_experiment.quick else Core.Chaos_experiment.full
@@ -361,7 +414,7 @@ let summaries =
   [
     ("run", "regenerate tables/figures, optionally recording a journal");
     ("list", "list available experiments");
-    ("attack", "run the Fig. 3 compartmentalization attacks");
+    ("attack", "memory (Fig. 3) and network-borne red-team attack runs");
     ("chaos", "deterministic fault injection with a blast-radius verdict");
     ("audit", "capability provenance audit and attack-surface report");
     ("analyze", "summarize a flow-trace or time-series export");
@@ -515,7 +568,81 @@ let run_cmd =
 let list_cmd =
   Cmd.v (cmd_info "list") Term.(const list_experiments $ const ())
 
-let attack_cmd = Cmd.v (cmd_info "attack") Term.(const run_attacks $ const ())
+let attack_mem_cmd =
+  Cmd.v
+    (Cmd.info "mem" ~doc:"Run the Fig. 3 compartmentalization attacks."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replay the paper's Fig. 3 memory attacks (overflow read, \
+              stale capability, cross-compartment store) against the \
+              baseline and CHERI memory models and print the trap/leak \
+              matrix.";
+         ])
+    Term.(const run_attacks $ const ())
+
+let attack_seed_opt =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Red-team corpus seed. Two runs with the same seed and profile \
+           produce byte-identical reports.")
+
+let attack_json_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable attack report (full ledger with \
+           per-attack verdicts, provenance and blackbox cross-references, \
+           per-phase blast-radius ratios) to $(docv).")
+
+let attack_blackbox_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "blackbox-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write each supervised containment's crash black box to \
+           $(docv)/<cvm>.blackbox.json and link the corresponding attack \
+           verdicts to their dump files in the report.")
+
+let attack_net_cmd =
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:"Run the network-borne red-team attack corpus."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Drive the seeded attack corpus — parser-bounds frames, \
+              connection-close races, resource floods, cross-tenant \
+              probes — against the Baseline, Scenario 1 and Scenario 2 \
+              topologies. Exit 1 unless every attack in the CHERI \
+              scenarios ends caught-and-attributed (a typed drop, typed \
+              backpressure, or a supervisor-contained capability fault), \
+              the MMU-only baseline records at least one silent \
+              corruption/leak, and sibling goodput outside quarantine \
+              holds the >= 0.9x blast-radius bound in every phase.";
+         ])
+    Term.(
+      const (fun () -> run_attack_net)
+      $ sharding_term $ attack_seed_opt $ quick_flag $ attack_json_opt
+      $ attack_blackbox_opt)
+
+let attack_cmd =
+  Cmd.group
+    (cmd_info "attack"
+       ~detail:
+         [
+           "$(b,attack mem) replays the paper's Fig. 3 memory attacks; \
+            $(b,attack net) runs the seeded network-borne red-team corpus \
+            with blast-radius containment gates.";
+         ])
+    [ attack_mem_cmd; attack_net_cmd ]
 
 let chaos_seed_opt =
   Arg.(
@@ -607,6 +734,16 @@ let profile_exp_arg =
     & pos 0 (some string) None
     & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id to profile (e.g. fig4).")
 
+let profile_runs_opt =
+  Arg.(
+    value & opt int 1
+    & info [ "runs" ] ~docv:"N"
+        ~doc:
+          "Profile the experiment $(docv) times and keep the per-hotspot \
+           median of the wall-time fields (events are asserted identical): \
+           use $(b,--runs 3) on shared/CI hosts so scheduler noise cannot \
+           fail a perfdiff gate.")
+
 let profile_out_opt =
   Arg.(
     value
@@ -629,7 +766,9 @@ let profile_cmd =
             Profiling never touches the virtual clock, so the experiment's \
             own output is bit-identical to an unprofiled run.";
          ])
-    Term.(const run_profile $ profile_exp_arg $ quick_flag $ profile_out_opt)
+    Term.(
+      const run_profile $ profile_exp_arg $ quick_flag $ profile_runs_opt
+      $ profile_out_opt)
 
 let perfdiff_old_arg =
   Arg.(

@@ -360,7 +360,14 @@ let phase_a ch profile ~seed ~blackbox_dir =
   let csum_observed =
     List.fold_left
       (fun acc ((_, r), n) ->
-        match r with Ft.Bad_checksum | Ft.Parse_error -> acc + n | _ -> acc)
+        (* Any typed parse reject can be the surface symptom of a
+           flipped DMA byte — a corrupted length field lands on
+           Bad_length, a corrupted fragment word on Frag_unsupported. *)
+        match r with
+        | Ft.Bad_checksum | Ft.Parse_error | Ft.Bad_length | Ft.Bad_option
+        | Ft.Frag_unsupported ->
+          acc + n
+        | _ -> acc)
       0 drops
   in
   ignore

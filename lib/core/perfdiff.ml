@@ -20,6 +20,15 @@ type report = {
 let share_floor_pct = 2.0
 let abs_floor_ns = 5e6
 
+(* Wall-clock noise floor: even with median-of-N snapshots, ns/event on
+   a contended container host jitters by double digits between runs
+   whose event streams are bit-identical. A wall regression below this
+   percentage is indistinguishable from scheduler noise, so the
+   effective wall threshold is max(--max-regress, this floor). Event
+   counts are unaffected — they are deterministic and keep the tight
+   user-chosen threshold. *)
+let wall_floor_pct = 25.0
+
 let pct_change ~old_v ~new_v =
   if old_v = 0. then if new_v = 0. then 0. else Float.infinity
   else 100. *. (new_v -. old_v) /. Float.abs old_v
@@ -111,7 +120,7 @@ let diff_profiles ~max_regress_pct old_j new_j =
            in the old snapshot AND grew by a non-trivial absolute
            amount, so cold-key jitter cannot fail CI. *)
         let regress =
-          npe_pct > max_regress_pct
+          npe_pct > Float.max max_regress_pct wall_floor_pct
           && share >= share_floor_pct
           && new_self -. old_self >= abs_floor_ns
         in

@@ -40,6 +40,9 @@ type reason =
   | Dma_error
   | Chaos_injected
   | Arp_unresolved
+  | Bad_length
+  | Bad_option
+  | Frag_unsupported
 
 let all_stages =
   [
@@ -79,7 +82,8 @@ let all_reasons =
     Tx_ring_full; Rx_ring_full; Mac_filter; Link_down; Bad_checksum;
     Parse_error; Out_of_window; Dup_segment; Rcv_buf_full; Mbuf_exhausted;
     No_socket; Sock_queue_full; Capability_fault; Unknown_proto; Fcs_error;
-    Dma_error; Chaos_injected; Arp_unresolved;
+    Dma_error; Chaos_injected; Arp_unresolved; Bad_length; Bad_option;
+    Frag_unsupported;
   ]
 
 let reason_name = function
@@ -101,6 +105,9 @@ let reason_name = function
   | Dma_error -> "dma_error"
   | Chaos_injected -> "chaos_injected"
   | Arp_unresolved -> "arp_unresolved"
+  | Bad_length -> "bad_length"
+  | Bad_option -> "bad_option"
+  | Frag_unsupported -> "frag_unsupported"
 
 let reason_of_name s =
   List.find_opt (fun r -> String.equal (reason_name r) s) all_reasons

@@ -74,6 +74,15 @@ type reason =
   | Arp_unresolved
       (** TX packet abandoned after ARP resolution failed (negative
           cache) or the pending queue overflowed. *)
+  | Bad_length
+      (** Header or length field lies about the bytes actually present:
+          truncated header, total/udp length beyond the frame, option
+          region past the buffer. *)
+  | Bad_option  (** Malformed TCP/IP option list (overflow or runt). *)
+  | Frag_unsupported
+      (** IPv4 fragment (MF set or non-zero offset): the stack does no
+          reassembly, so fragments are a typed reject, never a
+          silently-misparsed whole datagram. *)
 
 val stage_name : stage -> string
 (** Lower-case stable identifier, e.g. [Tx_ring -> "tx_ring"]. *)

@@ -1,0 +1,173 @@
+type cls = Parser_bounds | Temporal | Resource | Cross_tenant
+
+let cls_name = function
+  | Parser_bounds -> "parser_bounds"
+  | Temporal -> "temporal"
+  | Resource -> "resource"
+  | Cross_tenant -> "cross_tenant"
+
+let all_classes = [ Parser_bounds; Temporal; Resource; Cross_tenant ]
+
+type outcome =
+  | Pending
+  | Caught of { stage : string; reason : string }
+  | Leaked of { detail : string }
+
+type launch = {
+  id : int;
+  cls : cls;
+  name : string;
+  at_ns : float;
+  target : string;
+  mutable outcome : outcome;
+  mutable provenance : string option;
+  mutable blackbox : string option;
+}
+
+type t = {
+  seed_ : int64;
+  rng_ : Rng.t;
+  mutable armed_ : bool;
+  mutable next_id : int;
+  mutable launches_rev : launch list;
+  by_id : (int, launch) Hashtbl.t;
+}
+
+let create ~seed =
+  {
+    seed_ = seed;
+    rng_ = Rng.create ~seed;
+    armed_ = true;
+    next_id = 1;
+    launches_rev = [];
+    by_id = Hashtbl.create 64;
+  }
+
+let seed t = t.seed_
+let armed t = t.armed_
+let set_armed t b = t.armed_ <- b
+let rng t = t.rng_
+
+let launch t cls ~name ~at_ns ~target =
+  if not t.armed_ then -1
+  else begin
+    let l =
+      {
+        id = t.next_id;
+        cls;
+        name;
+        at_ns;
+        target;
+        outcome = Pending;
+        provenance = None;
+        blackbox = None;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.launches_rev <- l :: t.launches_rev;
+    Hashtbl.replace t.by_id l.id l;
+    l.id
+  end
+
+let find t id = Hashtbl.find_opt t.by_id id
+
+(* First verdict wins: an attack that was caught at one stage must not
+   be re-labelled by a later, coarser observer. *)
+let resolve t id outcome =
+  match find t id with
+  | Some l when l.outcome = Pending -> l.outcome <- outcome
+  | Some _ | None -> ()
+
+let resolve_caught t id ~stage ~reason = resolve t id (Caught { stage; reason })
+let resolve_leaked t id ~detail = resolve t id (Leaked { detail })
+
+let set_provenance t id p =
+  match find t id with Some l -> l.provenance <- Some p | None -> ()
+
+let set_blackbox t id p =
+  match find t id with Some l -> l.blackbox <- Some p | None -> ()
+
+let launches t = List.rev t.launches_rev
+let launched_count t = List.length t.launches_rev
+
+let count_if t p =
+  List.fold_left (fun acc l -> if p l then acc + 1 else acc) 0 t.launches_rev
+
+let pending_count t = count_if t (fun l -> l.outcome = Pending)
+
+let caught_count t =
+  count_if t (fun l -> match l.outcome with Caught _ -> true | _ -> false)
+
+let leaked_count t =
+  count_if t (fun l -> match l.outcome with Leaked _ -> true | _ -> false)
+
+type tally = { t_launched : int; t_caught : int; t_leaked : int; t_pending : int }
+
+let counts t =
+  List.map
+    (fun c ->
+      let of_cls p =
+        count_if t (fun l -> l.cls = c && p l.outcome)
+      in
+      ( c,
+        {
+          t_launched = of_cls (fun _ -> true);
+          t_caught = of_cls (function Caught _ -> true | _ -> false);
+          t_leaked = of_cls (function Leaked _ -> true | _ -> false);
+          t_pending = of_cls (fun o -> o = Pending);
+        } ))
+    all_classes
+
+let outcome_json = function
+  | Pending -> Json.Obj [ ("verdict", Json.String "pending") ]
+  | Caught { stage; reason } ->
+    Json.Obj
+      [
+        ("verdict", Json.String "caught");
+        ("stage", Json.String stage);
+        ("reason", Json.String reason);
+      ]
+  | Leaked { detail } ->
+    Json.Obj
+      [ ("verdict", Json.String "leaked"); ("detail", Json.String detail) ]
+
+let launch_json l =
+  Json.Obj
+    [
+      ("id", Json.Int l.id);
+      ("class", Json.String (cls_name l.cls));
+      ("name", Json.String l.name);
+      ("at_ns", Json.Float l.at_ns);
+      ("target", Json.String l.target);
+      ("outcome", outcome_json l.outcome);
+      ( "provenance",
+        match l.provenance with
+        | None -> Json.Null
+        | Some p -> Json.String p );
+      ( "blackbox",
+        match l.blackbox with None -> Json.Null | Some p -> Json.String p );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("seed", Json.String (Int64.to_string t.seed_));
+      ("launched", Json.Int (launched_count t));
+      ("caught", Json.Int (caught_count t));
+      ("leaked", Json.Int (leaked_count t));
+      ("pending", Json.Int (pending_count t));
+      ( "classes",
+        Json.List
+          (List.map
+             (fun (c, tl) ->
+               Json.Obj
+                 [
+                   ("class", Json.String (cls_name c));
+                   ("launched", Json.Int tl.t_launched);
+                   ("caught", Json.Int tl.t_caught);
+                   ("leaked", Json.Int tl.t_leaked);
+                   ("pending", Json.Int tl.t_pending);
+                 ])
+             (counts t)) );
+      ("attacks", Json.List (List.map launch_json (launches t)));
+    ]

@@ -1,0 +1,98 @@
+(** Red-team attack ledger: a typed corpus of network-borne attacks
+    with per-attack verdict accounting.
+
+    The chaos ledger ({!Chaos}) answers "did a random fault get
+    attributed?"; this ledger answers the adversarial version: "did a
+    {e deliberately crafted} attack end in a typed verdict?" Every
+    attack the generator launches is registered here, and must resolve
+    to exactly one of:
+
+    - {b Caught}: the stack converted the attack into a typed artifact
+      — a {!Flowtrace} drop reason, a watermark backpressure stall, or
+      a [Cheri.Fault.Capability_fault] contained by the supervisor —
+      with the stage and reason recorded, plus a provenance cross
+      reference naming what stopped it;
+    - {b Leaked}: the MMU-only baseline model let the attack corrupt
+      or exfiltrate state silently; the ledger records the observed
+      damage (this outcome is the baseline's {e expected} result and a
+      CHERI scenario's failure);
+    - {b Pending}: not yet resolved — a report with pending attacks
+      fails its gate.
+
+    Like every dsim subsystem, the ledger is deterministic: corpus
+    randomness flows from the seed via {!Rng}, and a disarmed ledger
+    ([set_armed t false]) records nothing, so linking the module leaves
+    un-attacked runs bit-identical. *)
+
+(** Attack class, the taxonomy axis of the corpus. *)
+type cls =
+  | Parser_bounds  (** Malformed headers, lying lengths, fragments. *)
+  | Temporal  (** Close races: blind RST/FIN/SYN, stale-fd epoll. *)
+  | Resource  (** Floods driving pools into typed backpressure. *)
+  | Cross_tenant  (** Probes at sibling cVMs through the shared stack. *)
+
+val cls_name : cls -> string
+val all_classes : cls list
+
+type outcome =
+  | Pending
+  | Caught of { stage : string; reason : string }
+  | Leaked of { detail : string }
+
+type launch = {
+  id : int;
+  cls : cls;
+  name : string;  (** Corpus entry, e.g. ["ipv4_lying_total_len"]. *)
+  at_ns : float;
+  target : string;  (** Victim cVM / flow the attack aims at. *)
+  mutable outcome : outcome;
+  mutable provenance : string option;
+      (** Which capability (or typed check) stopped it. *)
+  mutable blackbox : string option;
+      (** Supervisor blackbox file holding the fault snapshot. *)
+}
+
+type t
+
+val create : seed:int64 -> t
+val seed : t -> int64
+
+val armed : t -> bool
+val set_armed : t -> bool -> unit
+(** A disarmed ledger refuses {!launch} (returns [-1]) and resolves
+    nothing: the linked-but-disabled bit-identity gate. *)
+
+val rng : t -> Rng.t
+(** The corpus generator's RNG stream; all attack randomness (probe
+    ports, forged sequence numbers, flood sizes) must come from here
+    so a seed pins the whole corpus. *)
+
+val launch : t -> cls -> name:string -> at_ns:float -> target:string -> int
+(** Register an attack the generator is about to perform; returns its
+    ledger id ([-1] when disarmed). *)
+
+val resolve_caught : t -> int -> stage:string -> reason:string -> unit
+(** Resolve a pending attack as typed-and-attributed. No-op on an
+    already-resolved id (first verdict wins). *)
+
+val resolve_leaked : t -> int -> detail:string -> unit
+(** Resolve a pending attack as silent corruption/leak (baseline). *)
+
+val set_provenance : t -> int -> string -> unit
+val set_blackbox : t -> int -> string -> unit
+
+val find : t -> int -> launch option
+val launches : t -> launch list
+(** Launch order. *)
+
+val launched_count : t -> int
+val pending_count : t -> int
+val caught_count : t -> int
+val leaked_count : t -> int
+
+type tally = { t_launched : int; t_caught : int; t_leaked : int; t_pending : int }
+
+val counts : t -> (cls * tally) list
+(** Per-class tallies for every class in {!all_classes}. *)
+
+val to_json : t -> Json.t

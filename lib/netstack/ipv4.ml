@@ -74,7 +74,14 @@ let parse b ~off ~len =
       else if not (Checksum.valid b ~off ~len:ihl) then Error "ipv4: bad checksum"
       else begin
         let total_len = get_u16 b (off + 2) in
-        if total_len < ihl || total_len > len then Error "ipv4: bad total length"
+        (* More Fragments set or a non-zero fragment offset: this stack
+           does no reassembly, and treating a fragment as a whole
+           datagram would hand the upper parser payload bytes that are
+           not where its header claims. Typed reject instead. *)
+        let frag_field = get_u16 b (off + 6) in
+        if frag_field land 0x3fff <> 0 then Error "ipv4: fragment unsupported"
+        else if total_len < ihl || total_len > len then
+          Error "ipv4: bad total length"
         else
           Ok
             ( {

@@ -225,13 +225,37 @@ let drop_arp_unresolved ?(flow = None) t =
   Dsim.Metrics.incr t.metrics.m_arp_failures;
   Dsim.Flowtrace.(drop default ~flow Ip_out Arp_unresolved)
 
-(* Parse failures whose message mentions the checksum get the typed
-   [Bad_checksum] reason; everything else is a generic [Parse_error]. *)
-let contains_checksum msg =
+let contains msg sub =
   let n = String.length msg in
-  let m = String.length "checksum" in
-  let rec go i = i + m <= n && (String.sub msg i m = "checksum" || go (i + 1)) in
+  let m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
   go 0
+
+(* Map a parser's error message onto the typed drop taxonomy: checksum
+   failures, fragments, malformed options and length lies each get
+   their own reason so the drop ledger distinguishes a corrupted frame
+   from a crafted one; anything else stays a generic [Parse_error]. *)
+let reason_of_parse_error msg =
+  if contains msg "checksum" then Dsim.Flowtrace.Bad_checksum
+  else if contains msg "fragment" then Dsim.Flowtrace.Frag_unsupported
+  else if contains msg "option" then Dsim.Flowtrace.Bad_option
+  else if contains msg "truncated" || contains msg "length" then
+    Dsim.Flowtrace.Bad_length
+  else Dsim.Flowtrace.Parse_error
+
+(* Closing an fd must also tear it out of every epoll interest set: fd
+   numbers are recycled by [Socket.alloc], so a stale registration
+   would report a permanent EPOLLERR|EPOLLHUP storm until it aliases a
+   future, unrelated socket — exactly the close/epoll race a hostile
+   app drives on purpose. *)
+let release_fd t fd =
+  List.iter
+    (fun epfd ->
+      match Socket.find t.table epfd with
+      | Some (Socket.Epoll_inst ep) -> Epoll.forget ep ~fd
+      | _ -> ())
+    (Socket.fds t.table);
+  Socket.release t.table fd
 
 (* ------------------------------------------------------------------ *)
 (* Frame transmission                                                   *)
@@ -470,7 +494,7 @@ let handle_event t (sock : Socket.tcp_sock) ~parent event =
   | Tcp_cb.Closed_done ->
     Hashtbl.remove t.conns (conn_key_of sock.Socket.cb);
     Hashtbl.remove t.sock_ctx sock.Socket.fd;
-    if sock.Socket.closed_by_app then Socket.release t.table sock.Socket.fd
+    if sock.Socket.closed_by_app then release_fd t sock.Socket.fd
   | Tcp_cb.Data_readable | Tcp_cb.Writable | Tcp_cb.Peer_closed -> ()
 
 let note_stat t (s : Tcp_cb.stat) =
@@ -568,10 +592,7 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
 let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Tcp_wire.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
   | Error msg ->
-    let reason =
-      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
-      else Dsim.Flowtrace.Parse_error
-    in
+    let reason = reason_of_parse_error msg in
     drop_rx ~flow t Dsim.Flowtrace.Tcp_in reason
   | Ok (hdr, payload_off) -> (
     Dsim.Flowtrace.hop flow Tcp_in ~at:(now t);
@@ -614,10 +635,7 @@ let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
 let icmp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Icmp.parse buf ~off ~len with
   | Error msg ->
-    let reason =
-      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
-      else Dsim.Flowtrace.Parse_error
-    in
+    let reason = reason_of_parse_error msg in
     drop_rx ~flow t Dsim.Flowtrace.Ip_rx reason
   | Ok msg -> (
     match msg with
@@ -632,10 +650,7 @@ let icmp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
 let udp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
   match Udp.parse ~src:ip_hdr.Ipv4.src ~dst:ip_hdr.Ipv4.dst buf ~off ~len with
   | Error msg ->
-    let reason =
-      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
-      else Dsim.Flowtrace.Parse_error
-    in
+    let reason = reason_of_parse_error msg in
     drop_rx ~flow t Dsim.Flowtrace.Udp_in reason
   | Ok (hdr, payload_off) -> (
     Dsim.Flowtrace.hop flow Udp_in ~at:(now t);
@@ -660,7 +675,7 @@ let arp_input t ?(flow = None) buf ~off ~len =
      path that is the whole borrowed frame buffer, so enforce the actual
      frame length here. *)
   if len < Arp.packet_len then
-    drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
+    drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Bad_length
   else
   match Arp.parse buf ~off with
   | Error _ -> drop_rx ~flow t Dsim.Flowtrace.Eth_rx Dsim.Flowtrace.Parse_error
@@ -679,10 +694,7 @@ let arp_input t ?(flow = None) buf ~off ~len =
 let ipv4_input t ?(flow = None) buf ~off ~len =
   match Ipv4.parse buf ~off ~len with
   | Error msg ->
-    let reason =
-      if contains_checksum msg then Dsim.Flowtrace.Bad_checksum
-      else Dsim.Flowtrace.Parse_error
-    in
+    let reason = reason_of_parse_error msg in
     drop_rx ~flow t Dsim.Flowtrace.Ip_rx reason
   | Ok (ip_hdr, payload_off) ->
     if
@@ -942,13 +954,13 @@ let close t fd =
   match Socket.find t.table fd with
   | None -> Error Errno.EBADF
   | Some (Socket.Epoll_inst _) ->
-    Socket.release t.table fd;
+    release_fd t fd;
     Ok ()
   | Some (Socket.Udp u) ->
     (match u.Socket.uport with
     | Some p -> Hashtbl.remove t.udp_binds p
     | None -> ());
-    Socket.release t.table fd;
+    release_fd t fd;
     Ok ()
   | Some (Socket.Tcp sock) ->
     sock.Socket.closed_by_app <- true;
@@ -961,7 +973,7 @@ let close t fd =
           child.Socket.cb.Tcp_cb.state <- Tcp_cb.Fin_wait_1)
         sock.Socket.accept_q;
       Queue.clear sock.Socket.accept_q;
-      Socket.release t.table fd;
+      release_fd t fd;
       Ok ()
     end
     else begin
@@ -980,7 +992,7 @@ let close t fd =
         Tcp_cb.to_closed cb ctx
       | Tcp_cb.Fin_wait_1 | Tcp_cb.Fin_wait_2 | Tcp_cb.Closing
       | Tcp_cb.Last_ack | Tcp_cb.Time_wait -> ());
-      if cb.Tcp_cb.state = Tcp_cb.Closed then Socket.release t.table fd;
+      if cb.Tcp_cb.state = Tcp_cb.Closed then release_fd t fd;
       Ok ()
     end
 

@@ -220,13 +220,22 @@ let process_payload cb ctx (hdr : Tcp_wire.header) ~buf ~off ~len =
         ctx.stat (Rx_drop Dsim.Flowtrace.Dup_segment);
         cb.need_ack_now <- true
       end;
-      (* The FIN is consumable only when we hold all bytes before it.
+      (* The FIN is consumable only when it sits exactly at the left
+         window edge: all bytes before it held, none beyond it claimed.
          (A FIN whose data was parked in the reassembly queue loses its
-         flag; the peer's FIN retransmission recovers it.) *)
-      if
-        seg_fin && (not cb.fin_received)
-        && Tcp_seq.ge cb.rcv_nxt (Tcp_seq.add seq len)
-      then fin_transition cb ctx
+         flag; the peer's FIN retransmission recovers it.) A FIN whose
+         edge lands *before* rcv_nxt on a connection that never saw the
+         peer's FIN is a blind close forgery — the genuine peer cannot
+         place its FIN under data it already had acknowledged — so it
+         gets a typed drop and a challenge ACK instead of a teardown. *)
+      if seg_fin && not cb.fin_received then begin
+        let fin_edge = Tcp_seq.add seq len in
+        if fin_edge = cb.rcv_nxt then fin_transition cb ctx
+        else if Tcp_seq.lt fin_edge cb.rcv_nxt then begin
+          ctx.stat (Rx_drop Dsim.Flowtrace.Out_of_window);
+          cb.need_ack_now <- true
+        end
+      end
     end
   end
 
@@ -279,11 +288,27 @@ let process cb ctx (hdr : Tcp_wire.header) ~buf ~off ~len =
         ctx.on_event Conn_reset;
         to_closed cb ctx
       end
+      else begin
+        (* RFC 5961 §3: an out-of-window RST is a blind-reset guess.
+           Typed drop plus a challenge ACK — the genuine peer (if it
+           really did reset) answers the challenge with an in-window
+           RST; an attacker learns nothing. *)
+        ctx.stat (Rx_drop Dsim.Flowtrace.Out_of_window);
+        cb.need_ack_now <- true
+      end
     end
     else if hdr.flags.syn then begin
-      (* SYN in a synchronised state: blow the connection away. *)
-      ctx.on_event Conn_reset;
-      to_closed cb ctx
+      (* RFC 5961 §4: a SYN in a synchronised state must never tear the
+         connection down — a blind attacker would need exactly one
+         forged segment otherwise. A duplicate of the original SYN in
+         Syn_received means our SYN-ACK was lost: resend it. Everything
+         else draws a typed drop and a challenge ACK. *)
+      if cb.state = Syn_received && hdr.seq = cb.irs then
+        Tcp_output.send_syn_ack cb ctx
+      else begin
+        ctx.stat (Rx_drop Dsim.Flowtrace.Out_of_window);
+        cb.need_ack_now <- true
+      end
     end
     else if not hdr.flags.ack then ()
     else begin

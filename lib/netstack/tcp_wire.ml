@@ -130,18 +130,24 @@ let build ~src ~dst h ~payload =
   ignore (write_header ~src ~dst h b ~off:0 ~payload_len:(Bytes.length payload));
   b
 
+(* A truncated kind byte, a length < 2 or a length running past the
+   option region are hard parse errors, not a best-effort prefix: a
+   lying option length is exactly how an attacker smuggles bytes past a
+   parser that "stops early", and accepting the prefix hides the lie
+   from the drop ledger. *)
 let parse_options b ~off ~limit =
   let rec go off acc =
-    if off >= limit then List.rev acc
+    if off >= limit then Ok (List.rev acc)
     else begin
       match Char.code (Bytes.get b off) with
-      | 0 (* EOL *) -> List.rev acc
+      | 0 (* EOL *) -> Ok (List.rev acc)
       | 1 (* NOP *) -> go (off + 1) acc
       | kind ->
-        if off + 1 >= limit then List.rev acc
+        if off + 1 >= limit then Error "tcp: bad option (truncated)"
         else begin
           let olen = Char.code (Bytes.get b (off + 1)) in
-          if olen < 2 || off + olen > limit then List.rev acc
+          if olen < 2 || off + olen > limit then
+            Error "tcp: bad option (length)"
           else begin
             let opt =
               match kind with
@@ -166,19 +172,24 @@ let parse ~src ~dst b ~off ~len =
     else begin
       let data_off = (Char.code (Bytes.get b (off + 12)) lsr 4) * 4 in
       if data_off < base_header_len || data_off > len then Error "tcp: bad data offset"
-      else
-        Ok
-          ( {
-              src_port = get_u16 b off;
-              dst_port = get_u16 b (off + 2);
-              seq = Tcp_seq.of_int (get_u32 b (off + 4));
-              ack = Tcp_seq.of_int (get_u32 b (off + 8));
-              flags = flags_of_int (Char.code (Bytes.get b (off + 13)));
-              window = get_u16 b (off + 14);
-              options =
-                parse_options b ~off:(off + base_header_len) ~limit:(off + data_off);
-            },
-            off + data_off )
+      else begin
+        match
+          parse_options b ~off:(off + base_header_len) ~limit:(off + data_off)
+        with
+        | Error msg -> Error msg
+        | Ok options ->
+          Ok
+            ( {
+                src_port = get_u16 b off;
+                dst_port = get_u16 b (off + 2);
+                seq = Tcp_seq.of_int (get_u32 b (off + 4));
+                ack = Tcp_seq.of_int (get_u32 b (off + 8));
+                flags = flags_of_int (Char.code (Bytes.get b (off + 13)));
+                window = get_u16 b (off + 14);
+                options;
+              },
+              off + data_off )
+      end
     end
   end
 

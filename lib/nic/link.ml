@@ -19,6 +19,7 @@ type t = {
   b_to_a : dir_state;
   mutable dropped : int;
   mutable tampered : int;
+  mutable injected : int;
   mutable up : bool;
   mutable tamper : tamper option;
   (* Frame-buffer recycling pool, keyed by exact length. Per-link (not
@@ -44,7 +45,8 @@ let k_hold =
 let create engine ?(bps = 1e9) ?(prop_delay = Dsim.Time.ns 500) () =
   let dir () = { busy_until = Dsim.Time.zero; handler = None; carried = 0 } in
   { engine; bps; prop_delay; a_to_b = dir (); b_to_a = dir (); dropped = 0;
-    tampered = 0; up = true; tamper = None; pool = Hashtbl.create 8 }
+    tampered = 0; injected = 0; up = true; tamper = None;
+    pool = Hashtbl.create 8 }
 
 (* Recycling exact-size buffers keeps the fast path's allocation rate
    flat: a streaming TCP flow reuses the same few MSS-sized buffers
@@ -156,9 +158,21 @@ let transmit t ?(flow = None) ~from ~frame () =
   ignore (Dsim.Engine.schedule_at_l t.engine ~at:arrival ~label:k_deliver deliver);
   tx_done
 
+let peer = function A -> B | B -> A
+
+(* A red-team frame enters the wire exactly like a legitimate one —
+   same serialization queue, FCS, tamper lottery and propagation — so
+   an attacked run stays deterministic and the receiver cannot tell a
+   crafted frame from a forwarded one by timing alone. Only the
+   [injected] counter distinguishes them, for reports. *)
+let inject t ?(flow = None) ~into ~frame () =
+  t.injected <- t.injected + 1;
+  transmit t ~flow ~from:(peer into) ~frame ()
+
 let carried_bytes t ~from = (dir_of t from).carried
 let dropped t = t.dropped
 let tampered t = t.tampered
+let injected t = t.injected
 let up t = t.up
 let set_up t b = t.up <- b
 let set_tamper t f = t.tamper <- f

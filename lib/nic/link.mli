@@ -63,12 +63,28 @@ val transmit :
     on an administratively-down link, are counted as dropped (and
     attributed [Wire]/[Link_down] in {!Dsim.Flowtrace}). *)
 
+val inject :
+  t ->
+  ?flow:Dsim.Flowtrace.ctx option ->
+  into:endpoint ->
+  frame:bytes ->
+  unit ->
+  Dsim.Time.t
+(** Red-team entry point: place a crafted hostile frame on the wire
+    towards [into], as if transmitted by the opposite endpoint's MAC.
+    The frame shares the legitimate traffic's serialization queue, FCS
+    computation, tamper lottery and propagation delay, so attacked runs
+    remain deterministic. Counted in {!injected}. *)
+
 val carried_bytes : t -> from:endpoint -> int
 (** Wire bytes (incl. overhead) sent from this endpoint; diagnostics. *)
 
 val dropped : t -> int
 val tampered : t -> int
 (** Frames the tamper hook acted on (any non-[Pass] verdict). *)
+
+val injected : t -> int
+(** Frames placed on the wire via {!inject}. *)
 
 val up : t -> bool
 val set_up : t -> bool -> unit

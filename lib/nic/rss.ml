@@ -119,3 +119,16 @@ let classify t frame =
     match five_tuple frame with
     | None -> 0
     | Some tuple -> t.reta.(hash_input t tuple land (reta_size - 1))
+
+(* Attacker's-eye view of the steering function: the full hash and the
+   queue it would land on, regardless of [t.queues]. Because Toeplitz +
+   RETA is a pure function of the frame bytes, an off-path attacker who
+   knows (or guesses) the key can aim flows at a victim's queue; the
+   red-team corpus uses this to prove that a steered hostile flow still
+   ends in a typed verdict inside the victim's compartment. *)
+let probe t frame =
+  match five_tuple frame with
+  | None -> None
+  | Some tuple ->
+    let h = hash_input t tuple in
+    Some (h, t.reta.(h land (reta_size - 1)))

@@ -36,3 +36,10 @@ val five_tuple : bytes -> bytes option
 val classify : t -> bytes -> int
 (** RX queue for a frame: [0] when single-queue or non-IPv4, otherwise
     [reta[toeplitz(5-tuple) mod 128]]. *)
+
+val probe : t -> bytes -> (int * int) option
+(** [(hash, queue)] the steering function assigns this frame, [None]
+    if not IPv4. The attacker's-eye view of RSS: steering is a pure
+    function of the frame bytes, so a crafted 5-tuple can aim a flow
+    at a chosen victim queue — the red-team corpus uses this surface
+    to build steering-abuse probes. *)

@@ -18,6 +18,7 @@ let () =
       ("faults", Test_faults.suite);
       ("zero_copy", Test_zero_copy.suite);
       ("chaos", Test_chaos.suite);
+      ("redteam", Test_redteam.suite);
       ("audit", Test_audit.suite);
       ("profile", Test_profile.suite);
       ("journal", Test_journal.suite);
