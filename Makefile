@@ -1,4 +1,4 @@
-.PHONY: all build test check bench wallclock audit attack profile perfdiff journal shards clean
+.PHONY: all build test check bench wallclock audit attack fleet profile perfdiff journal shards clean
 
 all: build
 
@@ -51,6 +51,33 @@ attack:
 	@grep -q "verdict: PASS" /tmp/netrepro-attack.1.txt \
 	  || { echo "attack: containment verdict not PASS"; exit 1; }
 	@echo "attack: 100% caught-and-attributed, containment PASS"
+
+# Fleet tenancy smoke: the 64-tenant churn observatory, twice. The
+# report must be byte-identical across the two invocations (text and
+# JSON), and every SLO gate — completion-ratio fairness, FCT p99.9
+# budget, 100% drop attribution, telescoping stage decomposition —
+# must hold (the run exits non-zero otherwise).
+fleet:
+	dune exec bin/netrepro.exe -- fleet --seed 42 --quick \
+	  --json /tmp/netrepro-fleet.1.fleet.json > /tmp/netrepro-fleet.1.txt \
+	  || { cat /tmp/netrepro-fleet.1.txt; \
+	       echo "fleet: run failed SLO gates"; exit 1; }
+	dune exec bin/netrepro.exe -- fleet --seed 42 --quick \
+	  --json /tmp/netrepro-fleet.2.fleet.json > /tmp/netrepro-fleet.2.txt \
+	  || { cat /tmp/netrepro-fleet.2.txt; \
+	       echo "fleet: second run failed SLO gates"; exit 1; }
+	@sed 's|/tmp/netrepro-fleet.[12].fleet.json|JSON|' \
+	  /tmp/netrepro-fleet.1.txt > /tmp/netrepro-fleet.1.norm.txt
+	@sed 's|/tmp/netrepro-fleet.[12].fleet.json|JSON|' \
+	  /tmp/netrepro-fleet.2.txt > /tmp/netrepro-fleet.2.norm.txt
+	cmp /tmp/netrepro-fleet.1.norm.txt /tmp/netrepro-fleet.2.norm.txt
+	cmp /tmp/netrepro-fleet.1.fleet.json /tmp/netrepro-fleet.2.fleet.json
+	@echo "fleet: report byte-identical across two runs"
+	@grep -q "verdict: PASS" /tmp/netrepro-fleet.1.txt \
+	  || { echo "fleet: SLO verdict not PASS"; exit 1; }
+	@grep -c "\[PASS\]" /tmp/netrepro-fleet.1.txt | grep -q "^4$$" \
+	  || { echo "fleet: expected 4 passing SLO gates"; exit 1; }
+	@echo "fleet: 64 tenants, all SLO gates PASS"
 
 # Wall-clock profile of the Fig. 4 run: hotspot table, capacity
 # watermarks and backpressure stalls on stdout, flamegraph-ready
@@ -157,6 +184,8 @@ check:
 	@echo "check: capability audit clean on stock scenarios"
 	$(MAKE) attack
 	@echo "check: red-team corpus contained and attributed"
+	$(MAKE) fleet
+	@echo "check: fleet tenancy observatory deterministic, SLO gates hold"
 	dune exec bench/main.exe -- wallclock quick
 	$(MAKE) profile > /tmp/netrepro-check.profile.txt \
 	  || { cat /tmp/netrepro-check.profile.txt; \

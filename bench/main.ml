@@ -20,7 +20,10 @@
                                      simulator wall-clock throughput and
                                      allocation (BENCH_wallclock.json); fails
                                      when the ff_write fast path exceeds its
-                                     allocation budget *)
+                                     allocation budget
+     bench/main.exe fleet [quick]    tenants-vs-events/sec scaling curve of
+                                     the fleet tenancy observatory
+                                     (BENCH_fleet.json) *)
 
 open Bechamel
 open Toolkit
@@ -514,12 +517,66 @@ let regenerate profile ids =
       flush stdout)
     specs
 
+(* Fleet scaling curve: tenants vs simulation events and wall time, the
+   tenancy observatory's cost-of-scale figure (BENCH_fleet.json). *)
+let run_fleet profile_name =
+  let tenant_counts =
+    match profile_name with
+    | "quick" -> [ 8; 32; 64 ]
+    | _ -> [ 8; 32; 64; 128; 256 ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Fleet.run ~profile:Core.Fleet.quick ~tenants:n () in
+        let wall = Unix.gettimeofday () -. t0 in
+        Printf.printf
+          "fleet/%-4d tenants: %6d events  %5.2f s wall  %7.0f events/s  %4d \
+           flows  p99.9 %.2f ms\n"
+          n r.Core.Fleet.r_events wall
+          (float_of_int r.Core.Fleet.r_events /. wall)
+          r.Core.Fleet.r_flows
+          (r.Core.Fleet.r_fct_p999_ns /. 1.0e6);
+        Dsim.Json.Obj
+          [
+            ("tenants", Dsim.Json.Int n);
+            ("events_fired", Dsim.Json.Int r.Core.Fleet.r_events);
+            ("wall_seconds", Dsim.Json.Float wall);
+            ( "events_per_wall_second",
+              Dsim.Json.Float (float_of_int r.Core.Fleet.r_events /. wall) );
+            ("flows", Dsim.Json.Int r.Core.Fleet.r_flows);
+            ("goodput_mbit_s", Dsim.Json.Float r.Core.Fleet.r_goodput_mbit);
+            ("fct_p999_ns", Dsim.Json.Float r.Core.Fleet.r_fct_p999_ns);
+            ("crossings", Dsim.Json.Int r.Core.Fleet.r_crossings);
+            ("live_sockets_peak", Dsim.Json.Int r.Core.Fleet.r_live_socks_peak);
+            ("pass", Dsim.Json.Bool r.Core.Fleet.r_pass);
+          ])
+      tenant_counts
+  in
+  let summary =
+    Dsim.Json.to_string
+      (Dsim.Json.Obj
+         [
+           ("id", Dsim.Json.String "fleet");
+           ( "title",
+             Dsim.Json.String
+               "Fleet tenancy scaling: simulation cost vs tenant count" );
+           ("profile", Dsim.Json.String profile_name);
+           ("results", Dsim.Json.List rows);
+         ])
+  in
+  write_file "BENCH_fleet.json" summary;
+  Printf.printf "BENCH_fleet %s\n" summary
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [ "micro" ] -> run_micro ()
   | [ "wallclock" ] -> run_wallclock "full"
   | [ "wallclock"; "quick" ] -> run_wallclock "quick"
+  | [ "fleet" ] -> run_fleet "full"
+  | [ "fleet"; "quick" ] -> run_fleet "quick"
   | [] ->
     run_micro ();
     regenerate Core.Experiment.full []

@@ -385,6 +385,35 @@ let run_chaos seed quick journal blackbox_dir =
   flush stdout;
   if report.Core.Chaos_experiment.pass then 0 else 1
 
+let run_fleet tenants seed quick scaling json_file =
+  let emit_json json =
+    match json_file with
+    | None -> true
+    | Some path -> (
+      match write_file path (Dsim.Json.to_string json) with
+      | () ->
+        Printf.printf "wrote %s\n" path;
+        true
+      | exception Sys_error msg ->
+        Printf.eprintf "netrepro: cannot write %s\n" msg;
+        false)
+  in
+  if scaling then begin
+    let text, json = Core.Fleet.run_scaling ~seed () in
+    print_string text;
+    let ok_json = emit_json json in
+    flush stdout;
+    if ok_json then 0 else 1
+  end
+  else begin
+    let profile = if quick then Core.Fleet.quick else Core.Fleet.full in
+    let r = Core.Fleet.run ~profile ?tenants ~seed () in
+    print_string r.Core.Fleet.r_text;
+    let ok_json = emit_json r.Core.Fleet.r_json in
+    flush stdout;
+    if r.Core.Fleet.r_pass && ok_json then 0 else 1
+  end
+
 let run_replay file context =
   match Core.Replay.run ~context file with
   | Ok outcome ->
@@ -417,6 +446,7 @@ let summaries =
     ("attack", "memory (Fig. 3) and network-borne red-team attack runs");
     ("chaos", "deterministic fault injection with a blast-radius verdict");
     ("audit", "capability provenance audit and attack-surface report");
+    ("fleet", "multi-tenant churn run with per-tenant SLO rollups");
     ("analyze", "summarize a flow-trace or time-series export");
     ("profile", "wall-clock hotspot and capacity-watermark profile");
     ("perfdiff", "compare two performance snapshots for regressions");
@@ -711,6 +741,65 @@ let audit_cmd =
       const (fun () -> run_audit)
       $ sharding_term $ audit_seed_opt $ quick_flag $ audit_json_opt)
 
+let fleet_tenants_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:
+          "Number of tenant cVMs sharing the stack compartment (default: \
+           the profile's — 64 with $(b,--quick), 256 otherwise).")
+
+let fleet_seed_opt =
+  Arg.(
+    value & opt int64 42L
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Workload seed. Arrivals and flow sizes are drawn from split \
+           deterministic streams, so the report is a pure function of \
+           (profile, tenants, seed).")
+
+let fleet_scaling_flag =
+  Arg.(
+    value & flag
+    & info [ "scaling" ]
+        ~doc:
+          "Instead of one run, print the scaling table: quick-profile runs \
+           at 8, 64 and 256 tenants.")
+
+let fleet_json_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable report (fleet totals, full per-tenant \
+           rollups, drop table, SLO gates) to $(docv).")
+
+let fleet_cmd =
+  Cmd.v
+    (cmd_info "fleet"
+       ~detail:
+         [
+           "Scale the Scenario 2 shared-stack topology to N application \
+            cVMs and drive a seeded connection-churn workload against an \
+            epoll server farm: Poisson arrivals and heavy-tailed \
+            request/response sizes per tenant, every application window \
+            trampolining into the stack compartment under the shared FIFO \
+            umtx.";
+           "The report is the tenancy rollup: per-tenant goodput, \
+            flow-completion-time percentiles down to p99.9, per-stage \
+            latency decomposition (stage means telescope to the end-to-end \
+            mean), trampoline crossings per packet, drop attribution and \
+            the Jain fairness index. SLO gates fail the run (exit 1) on \
+            unfair allocation, a blown p99.9 budget, unattributed drops or \
+            a broken stage decomposition.";
+         ])
+    Term.(
+      const (fun () -> run_fleet)
+      $ sharding_term $ fleet_tenants_opt $ fleet_seed_opt $ quick_flag
+      $ fleet_scaling_flag $ fleet_json_opt)
+
 let analyze_file_arg =
   Arg.(
     required
@@ -897,6 +986,7 @@ let () =
              attack_cmd;
              chaos_cmd;
              audit_cmd;
+             fleet_cmd;
              analyze_cmd;
              profile_cmd;
              perfdiff_cmd;

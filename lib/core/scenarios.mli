@@ -45,6 +45,30 @@ type built = {
 val app_buffer_size : int
 (** iperf's default 128 KiB write/read chunk. *)
 
+(** {1 Topology building blocks}
+
+    Shared by the canned scenarios and {!Fleet}, which composes the same
+    single-port DUT/peer pieces at a different scale. *)
+
+val ip_dut : int -> Netstack.Ipv4_addr.t
+(** 10.0.[subnet].1 — the DUT side of subnet [subnet]. *)
+
+val ip_peer : int -> Netstack.Ipv4_addr.t
+(** 10.0.[subnet].2 — the load-generator side. *)
+
+val seed_plus : int64 -> int -> int64
+(** Derive a per-component seed from the run seed. *)
+
+val cvm_netif :
+  Topology.node ->
+  name:string ->
+  port_idx:int ->
+  ip:Netstack.Ipv4_addr.t ->
+  ?stack_tuning:(Netstack.Stack.config -> Netstack.Stack.config) ->
+  unit ->
+  Capvm.Cvm.t * Topology.netif
+(** One cVM hosting a full network stack on [port_idx]. *)
+
 val build_dual_port :
   ?cheri:bool ->
   ?seed:int64 ->

@@ -29,7 +29,15 @@ type t = {
   table : (string, series) Hashtbl.t;
   mutable order : string list;  (* registration order, reversed *)
   meta : (string, string * string) Hashtbl.t;  (* name -> (type, help) *)
+  (* Label-cardinality guard: the series intern table is bounded so a
+     runaway label set (hundreds of tenants, per-flow labels, ...)
+     cannot blow up the export. Registrations past the cap still get a
+     live (but unexported) instrument, and are tallied. *)
+  mutable max_series : int;
+  mutable dropped_series : int;
 }
+
+let default_max_series = 8192
 
 let create ?(enabled = false) () =
   {
@@ -37,12 +45,17 @@ let create ?(enabled = false) () =
     table = Hashtbl.create 64;
     order = [];
     meta = Hashtbl.create 32;
+    max_series = default_max_series;
+    dropped_series = 0;
   }
 
 let default = create ()
 
 let enabled t = t.sw.on
 let set_enabled t b = t.sw.on <- b
+let max_series t = t.max_series
+let set_max_series t n = t.max_series <- max 0 n
+let dropped_series t = t.dropped_series
 
 let normalize_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -67,6 +80,12 @@ let register t ~name ~labels ~help make =
   let key = series_key name labels in
   match Hashtbl.find_opt t.table key with
   | Some s -> s.s_instrument
+  | None when Hashtbl.length t.table >= t.max_series ->
+    (* Over the cardinality cap: hand back a working instrument that is
+       interned nowhere — updates stay cheap and safe, the series just
+       never reaches the export — and account for the drop. *)
+    t.dropped_series <- t.dropped_series + 1;
+    make ()
   | None ->
     let instrument = make () in
     if not (Hashtbl.mem t.meta name) then
@@ -335,4 +354,14 @@ let to_prometheus t =
               (Printf.sprintf "%s_count%s %d\n" name (prom_labels s.s_labels) h.h_n))
         group)
     (List.rev !name_order);
+  (* Surface cardinality-cap overflow so dropped series are visible in
+     the dump rather than silently absent. Emitted only when non-zero,
+     keeping pre-guard exports byte-identical. *)
+  if t.dropped_series > 0 then begin
+    Buffer.add_string buf
+      "# HELP metrics_dropped_series_total Series registrations rejected by the label-cardinality cap.\n";
+    Buffer.add_string buf "# TYPE metrics_dropped_series_total counter\n";
+    Buffer.add_string buf
+      (Printf.sprintf "metrics_dropped_series_total %d\n" t.dropped_series)
+  end;
   Buffer.contents buf

@@ -39,6 +39,21 @@ val default : t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+(** {1 Label-cardinality guard}
+
+    The series intern table is bounded (default 8192 series). A
+    registration that would create a series past the cap instead
+    returns a live but {e unexported} instrument — hot-path updates on
+    it remain one branch, it simply never appears in {!snapshot} or
+    {!to_prometheus} — and bumps the dropped-series tally, which the
+    Prometheus dump surfaces as [metrics_dropped_series_total] when
+    non-zero. This keeps a 256-tenant (or adversarially label-happy)
+    run from growing the export without bound. *)
+
+val max_series : t -> int
+val set_max_series : t -> int -> unit
+val dropped_series : t -> int
+
 val reset : t -> unit
 (** Zero every instrument, keeping all series registered. *)
 

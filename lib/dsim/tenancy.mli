@@ -1,0 +1,98 @@
+(** Per-tenant SLO rollups over {!Metrics}/{!Flowtrace}-style streams.
+
+    A fleet run — many app cVMs (tenants) driving one shared stack
+    compartment — produces global counters, a sampled trace registry
+    and per-flow completions. This module folds those streams into one
+    record per tenant: goodput, flow-completion-time percentiles down
+    to p99.9, per-stage latency decomposition whose stage sums
+    telescope to the end-to-end figure (the {!Core.Analyze} identity,
+    here checked per tenant), crossing cost per packet, and a sampled
+    drop table — plus the Jain fairness index across tenants and the
+    attribution accounting the SLO gates consume.
+
+    Ingestion is attribution-driven: the caller supplies
+    [tenant_of : flow label -> tenant option] and the rollup engine
+    never needs to know how flows were generated. Everything here is
+    deterministic fold-and-sort; rendering order is tenant name. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Ingestion} *)
+
+val note_flow : t -> tenant:string -> bytes:int -> fct_ns:float -> unit
+(** One completed flow: [bytes] of application payload delivered,
+    end-to-end completion time [fct_ns]. *)
+
+val note_packets : t -> tenant:string -> int -> unit
+(** Wire packets attributable to the tenant (accumulates). *)
+
+val note_crossings : t -> tenant:string -> int -> unit
+(** Compartment-boundary crossings attributable to the tenant
+    (accumulates); see {!Intravisor.crossings_by_caller}. *)
+
+val ingest : t -> tenant_of:(string -> string option) -> Flowtrace.t -> unit
+(** Fold a trace registry: each sampled trace is attributed via
+    [tenant_of] on its flow label — hop-to-hop intervals land in the
+    tenant's per-stage buffers (interval attributed to the stage of the
+    hop ending it), the trace's end-to-end time in its e2e buffer, and
+    a drop marker in its sampled drop table. The registry's global
+    drop-attribution table and origin/sample/drop totals accumulate
+    into this rollup's globals. Traces [tenant_of] cannot map are
+    counted, not lost. *)
+
+(** {1 Rollup} *)
+
+type rollup = {
+  r_tenant : string;
+  r_flows : int;
+  r_bytes : int;
+  r_goodput_mbit : float;  (** Payload bits over the run duration. *)
+  r_fct_p50_ns : float;
+  r_fct_p90_ns : float;
+  r_fct_p99_ns : float;
+  r_fct_p999_ns : float;
+  r_traces : int;  (** Sampled traces with >= 2 hops. *)
+  r_stage_p50_ns : (string * float) list;
+      (** Median interval per stage, pipeline order, sampled stages
+          only. *)
+  r_stage_mean_sum_ns : float;
+      (** Sum over stages of mean interval: telescopes exactly to
+          {!r_e2e_mean_ns} when ingestion is sound (means are additive;
+          medians are reported but are not). *)
+  r_e2e_mean_ns : float;
+  r_e2e_p50_ns : float;
+  r_crossings : int;
+  r_packets : int;
+  r_crossings_per_packet : float;  (** 0 when no packets recorded. *)
+  r_drops : (string * string * int) list;
+      (** Sampled drops [(stage, reason, count)], first-seen order. *)
+}
+
+val rollup : t -> duration_ns:float -> rollup list
+(** One entry per tenant, sorted by tenant name. *)
+
+val jain : float list -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)]: 1.0 for a perfectly even
+    allocation, 1/n when one tenant takes everything. Defined as 1.0
+    for the empty and all-zero allocations. *)
+
+(** {1 Global accounting (the gate inputs)} *)
+
+val drop_table : t -> (string * string * int) list
+(** Ingested global drop-attribution table [(stage, reason, count)],
+    first-seen order — complete, not sampled. *)
+
+val dropped_frames : t -> int
+(** Total drops the ingested registries recorded. *)
+
+val attributed_drops : t -> int
+(** Sum of {!drop_table} counts. 100% drop attribution holds iff this
+    equals {!dropped_frames}. *)
+
+val origins : t -> int
+val sampled : t -> int
+
+val unattributed_traces : t -> int
+(** Sampled traces whose flow label mapped to no tenant. *)

@@ -10,6 +10,11 @@ type t = {
   mutable cvms : Cvm.t list;
   mutable next_id : int;
   mutable trampolines : int;
+  (* Round-trip crossings grouped by the calling compartment's fault
+     context: the per-tenant attribution a fleet of app cVMs sharing
+     one stack cVM needs ([total_trampolines] only says how busy the
+     boundary is, not who drove it). *)
+  crossings_by_caller : (string, int ref) Hashtbl.t;
 }
 
 (* The otype space is disjoint from data addresses; 1024 entry otypes
@@ -39,7 +44,13 @@ let create engine ~mem_size ~cost =
     cvms = [];
     next_id = 1;
     trampolines = 0;
+    crossings_by_caller = Hashtbl.create 64;
   }
+
+let note_crossing t ~caller =
+  match Hashtbl.find_opt t.crossings_by_caller caller with
+  | Some r -> r := !r + 2 (* in + out *)
+  | None -> Hashtbl.replace t.crossings_by_caller caller (ref 2)
 
 let engine t = t.engine
 let mem t = t.mem
@@ -101,6 +112,7 @@ let trampoline t ?(flow = None) ~into f =
      what lets the confinement checker explain the callee touching the
      caller's buffers (e.g. cVM2's app buffer inside cVM1's stack). *)
   let saved = Cheri.Fault.current_context () in
+  note_crossing t ~caller:saved;
   Cheri.Provenance.crossing_begin ~from_cvm:saved ~into:(Cvm.name into);
   Cheri.Fault.set_context (Cvm.name into);
   let result =
@@ -113,6 +125,15 @@ let trampoline t ?(flow = None) ~into f =
   (result, trampoline_cost_ns t)
 
 let total_trampolines t = t.trampolines
+
+let crossings_by_caller t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.crossings_by_caller []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let crossings_from t ~caller =
+  match Hashtbl.find_opt t.crossings_by_caller caller with
+  | Some r -> !r
+  | None -> 0
 
 type sys_value = Vtime of Dsim.Time.t | Vint of int | Vunit
 
@@ -130,6 +151,7 @@ let execute_kernel t sc =
 let syscall t ~from sc =
   Cvm.note_trampoline from;
   t.trampolines <- t.trampolines + 2;
+  note_crossing t ~caller:(Cvm.name from);
   let translated = Syscall.translate_musl sc in
   let value, body_ns = execute_kernel t translated in
   (value, trampoline_cost_ns t +. body_ns)

@@ -41,6 +41,15 @@ val trampoline_cost_ns : t -> float
 
 val total_trampolines : t -> int
 
+val crossings_by_caller : t -> (string * int) list
+(** Round-trip crossings ({!trampoline} and {!syscall}) grouped by the
+    calling compartment's fault context at entry, sorted by name — the
+    per-tenant attribution of boundary traffic when many app cVMs share
+    one stack cVM. Callers that never crossed are absent. *)
+
+val crossings_from : t -> caller:string -> int
+(** Crossings charged to one caller; 0 if it never crossed. *)
+
 (** {1 Syscall proxying} *)
 
 type sys_value = Vtime of Dsim.Time.t | Vint of int | Vunit

@@ -9,14 +9,17 @@ let has set flag = set land flag <> 0
 type t = {
   interests : (int, events) Hashtbl.t;
   mutable rotation : int;  (* fairness cursor for wait *)
+  mutable cache : (int * events) array option;
+      (* sorted interest snapshot reused across waits; None after any ctl *)
 }
 
-let create () = { interests = Hashtbl.create 16; rotation = 0 }
+let create () = { interests = Hashtbl.create 16; rotation = 0; cache = None }
 
 let ctl_add t ~fd ev =
   if Hashtbl.mem t.interests fd then Error Errno.EINVAL
   else begin
     Hashtbl.replace t.interests fd ev;
+    t.cache <- None;
     Ok ()
   end
 
@@ -24,6 +27,7 @@ let ctl_mod t ~fd ev =
   if not (Hashtbl.mem t.interests fd) then Error Errno.EINVAL
   else begin
     Hashtbl.replace t.interests fd ev;
+    t.cache <- None;
     Ok ()
   end
 
@@ -31,26 +35,39 @@ let ctl_del t ~fd =
   if not (Hashtbl.mem t.interests fd) then Error Errno.EINVAL
   else begin
     Hashtbl.remove t.interests fd;
+    t.cache <- None;
     Ok ()
   end
 
-let forget t ~fd = Hashtbl.remove t.interests fd
+let forget t ~fd =
+  if Hashtbl.mem t.interests fd then begin
+    Hashtbl.remove t.interests fd;
+    t.cache <- None
+  end
+
 let interest t ~fd = Hashtbl.find_opt t.interests fd
 
 let registered t =
   Hashtbl.fold (fun fd ev acc -> (fd, ev) :: acc) t.interests []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let snapshot t =
+  match t.cache with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.of_list (registered t) in
+      t.cache <- Some arr;
+      arr
+
 let wait t ~readiness ~max =
-  let all = registered t in
-  let n = List.length all in
+  let arr = snapshot t in
+  let n = Array.length arr in
   if n = 0 || max <= 0 then []
   else begin
     (* Rotate the scan start so a hot low-numbered fd cannot starve the
        rest when [max] truncates the result. *)
     let start = t.rotation mod n in
     t.rotation <- t.rotation + 1;
-    let arr = Array.of_list all in
     let out = ref [] and count = ref 0 in
     for i = 0 to n - 1 do
       if !count < max then begin

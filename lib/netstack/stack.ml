@@ -10,6 +10,7 @@ type config = {
   loop_base_ns : float;
   per_packet_ns : float;
   rng_seed : int64;
+  max_fds : int;
 }
 
 let default_config ~ip =
@@ -25,6 +26,7 @@ let default_config ~ip =
     loop_base_ns = 2_000.;
     per_packet_ns = 7_200.;
     rng_seed = 0x5eedL;
+    max_fds = 1024;
   }
 
 type counters = {
@@ -124,6 +126,17 @@ type t = {
   conns : (conn_key, Socket.tcp_sock) Hashtbl.t;
   udp_binds : (int, Socket.udp_sock) Hashtbl.t;
   sock_ctx : (int, Tcp_cb.ctx) Hashtbl.t;  (* fd -> its stable ctx *)
+  (* Local TCP port -> number of live sockets bound to it, so port
+     allocation never rescans the socket table. Passive children share
+     their listener's port, hence a refcount rather than a set. *)
+  bound_ports : (int, int) Hashtbl.t;
+  (* TCP sockets with at least one timer deadline armed: the only
+     connections the per-tick service pass must visit. Idle established
+     connections cost nothing per loop iteration. *)
+  armed : (int, Socket.tcp_sock) Hashtbl.t;
+  (* Live epoll instances, so closing an fd tears out stale interest
+     registrations without scanning the whole fd table. *)
+  epolls : (int, Epoll.t) Hashtbl.t;
   arp : Arp_cache.t;
   rng : Dsim.Rng.t;
   counters : counters;
@@ -155,11 +168,14 @@ let create engine mem dev config =
     dev;
     config;
     mac = Nic.Igb.mac (Dpdk.Eth_dev.port dev);
-    table = Socket.create_table ();
+    table = Socket.create_table ~max_fds:config.max_fds ();
     listeners = Hashtbl.create 8;
     conns = Hashtbl.create 64;
     udp_binds = Hashtbl.create 8;
     sock_ctx = Hashtbl.create 64;
+    bound_ports = Hashtbl.create 64;
+    armed = Hashtbl.create 64;
+    epolls = Hashtbl.create 4;
     arp = Arp_cache.create ();
     rng = Dsim.Rng.create ~seed:config.rng_seed;
     metrics = make_metrics ~ip:config.ip;
@@ -243,18 +259,46 @@ let reason_of_parse_error msg =
     Dsim.Flowtrace.Bad_length
   else Dsim.Flowtrace.Parse_error
 
+let port_bound_incr t port =
+  if port <> 0 then
+    Hashtbl.replace t.bound_ports port
+      (match Hashtbl.find_opt t.bound_ports port with
+      | Some n -> n + 1
+      | None -> 1)
+
+let port_bound_decr t port =
+  if port <> 0 then
+    match Hashtbl.find_opt t.bound_ports port with
+    | Some n when n <= 1 -> Hashtbl.remove t.bound_ports port
+    | Some n -> Hashtbl.replace t.bound_ports port (n - 1)
+    | None -> ()
+
+let timers_armed (cb : Tcp_cb.t) =
+  cb.Tcp_cb.rtx_deadline <> None
+  || cb.Tcp_cb.ack_deadline <> None
+  || cb.Tcp_cb.time_wait_deadline <> None
+
+(* Re-derive a socket's membership in the armed-timer set. Called after
+   every excursion into the TCP machinery (input, timers, user calls) —
+   the deadline fields are plain mutables, so membership is recomputed
+   at the call sites that can change them. *)
+let update_armed t (sock : Socket.tcp_sock) =
+  if timers_armed sock.Socket.cb && sock.Socket.cb.Tcp_cb.state <> Tcp_cb.Closed
+  then Hashtbl.replace t.armed sock.Socket.fd sock
+  else Hashtbl.remove t.armed sock.Socket.fd
+
 (* Closing an fd must also tear it out of every epoll interest set: fd
    numbers are recycled by [Socket.alloc], so a stale registration
    would report a permanent EPOLLERR|EPOLLHUP storm until it aliases a
    future, unrelated socket — exactly the close/epoll race a hostile
    app drives on purpose. *)
 let release_fd t fd =
-  List.iter
-    (fun epfd ->
-      match Socket.find t.table epfd with
-      | Some (Socket.Epoll_inst ep) -> Epoll.forget ep ~fd
-      | _ -> ())
-    (Socket.fds t.table);
+  (match Socket.find t.table fd with
+  | Some (Socket.Tcp s) -> port_bound_decr t s.Socket.cb.Tcp_cb.local_port
+  | Some (Socket.Epoll_inst _) -> Hashtbl.remove t.epolls fd
+  | Some (Socket.Udp _) | None -> ());
+  Hashtbl.remove t.armed fd;
+  Hashtbl.iter (fun _ ep -> Epoll.forget ep ~fd) t.epolls;
   Socket.release t.table fd
 
 (* ------------------------------------------------------------------ *)
@@ -538,13 +582,10 @@ let new_tcp_sock t fd ~local_port : Socket.tcp_sock =
 
 let fresh_iss t = Dsim.Rng.int t.rng 0x7FFFFFFF
 
+(* O(1) via the bound-port index: under connection churn the old
+   whole-table scan made every ephemeral allocation O(sockets). *)
 let port_in_use t port =
-  Hashtbl.mem t.listeners port
-  ||
-  let used = ref false in
-  Socket.iter_tcp t.table (fun s ->
-      if s.Socket.cb.Tcp_cb.local_port = port then used := true);
-  !used
+  Hashtbl.mem t.listeners port || Hashtbl.mem t.bound_ports port
 
 let ephemeral_port t =
   let rec go attempts =
@@ -586,7 +627,9 @@ let spawn_passive t listener ~(ip_hdr : Ipv4.header) (hdr : Tcp_wire.header) =
     let ctx = make_ctx t child ~parent:(Some listener) in
     Hashtbl.replace t.sock_ctx fd ctx;
     Hashtbl.replace t.conns (conn_key_of child.Socket.cb) child;
-    Tcp_input.accept_syn child.Socket.cb ctx hdr ~iss:(fresh_iss t)
+    port_bound_incr t child.Socket.cb.Tcp_cb.local_port;
+    Tcp_input.accept_syn child.Socket.cb ctx hdr ~iss:(fresh_iss t);
+    update_armed t child
   | Ok _ -> assert false
 
 let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
@@ -616,7 +659,8 @@ let tcp_input t ?(flow = None) ~(ip_hdr : Ipv4.header) buf ~off ~len =
       if Tcp_cb.readable_bytes sock.Socket.cb > readable_before then
         Dsim.Flowtrace.hop flow Sock ~at:(now t);
       if sock.Socket.cb.Tcp_cb.state <> Tcp_cb.Closed then
-        Tcp_output.flush sock.Socket.cb ctx
+        Tcp_output.flush sock.Socket.cb ctx;
+      update_armed t sock
     | None -> (
       match Hashtbl.find_opt t.listeners hdr.Tcp_wire.dst_port with
       | Some listener
@@ -741,16 +785,30 @@ let handle_frame t ?(flow = None) (s : Dsim.Slice.t) =
 (* Main loop                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-tick TCP servicing visits only the armed-timer set: every
+   connection with pending work holds at least one deadline (data in
+   flight arms the rtx timer, zero-window persist arms it explicitly,
+   delayed ACKs arm the ack timer), so skipping timer-less connections
+   emits exactly the same segments the old full-table scan did while
+   idle connections cost nothing. Serviced in fd order so the schedule
+   is independent of hash-table layout. *)
 let service_tcp t =
-  let dead = ref [] in
-  Hashtbl.iter
-    (fun key sock ->
-      let ctx = get_ctx t sock in
-      Tcp_timer.check sock.Socket.cb ctx;
-      if sock.Socket.cb.Tcp_cb.state = Tcp_cb.Closed then dead := key :: !dead
-      else Tcp_output.flush sock.Socket.cb ctx)
-    t.conns;
-  List.iter (Hashtbl.remove t.conns) !dead
+  if Hashtbl.length t.armed > 0 then begin
+    let socks =
+      Hashtbl.fold (fun _ s acc -> s :: acc) t.armed []
+      |> List.sort (fun (a : Socket.tcp_sock) b ->
+             compare a.Socket.fd b.Socket.fd)
+    in
+    List.iter
+      (fun (sock : Socket.tcp_sock) ->
+        let ctx = get_ctx t sock in
+        Tcp_timer.check sock.Socket.cb ctx;
+        if sock.Socket.cb.Tcp_cb.state = Tcp_cb.Closed then
+          Hashtbl.remove t.conns (conn_key_of sock.Socket.cb)
+        else Tcp_output.flush sock.Socket.cb ctx;
+        update_armed t sock)
+      socks
+  end
 
 (* ARP resolution maintenance: retransmit due requests (the cache applies
    its capped exponential backoff), and for resolutions whose last attempt
@@ -840,7 +898,9 @@ let bind t fd ~port =
   if port <= 0 || port > 65535 then Error Errno.EINVAL
   else if port_in_use t port then Error Errno.EADDRINUSE
   else begin
+    port_bound_decr t sock.Socket.cb.Tcp_cb.local_port;
     sock.Socket.cb.Tcp_cb.local_port <- port;
+    port_bound_incr t port;
     Ok ()
   end
 
@@ -875,7 +935,9 @@ let connect t fd ~ip ~port =
   else begin
     (if sock.Socket.cb.Tcp_cb.local_port = 0 then
        match ephemeral_port t with
-       | Some p -> sock.Socket.cb.Tcp_cb.local_port <- p
+       | Some p ->
+         sock.Socket.cb.Tcp_cb.local_port <- p;
+         port_bound_incr t p
        | None -> ());
     if sock.Socket.cb.Tcp_cb.local_port = 0 then Error Errno.EADDRINUSE
     else begin
@@ -886,6 +948,7 @@ let connect t fd ~ip ~port =
         sock;
       Tcp_cb.open_active sock.Socket.cb ctx ~remote_ip:ip ~remote_port:port
         ~iss:(fresh_iss t);
+      update_armed t sock;
       Error Errno.EINPROGRESS
     end
   end
@@ -905,8 +968,10 @@ let read t fd ~buf ~off ~len =
         Dsim.Metrics.incr t.metrics.m_sock_read_bytes ~by:n;
         (* Freed receive space: push a window update if we had been
            sitting on a shrunken advertisement. *)
-        if cb.Tcp_cb.segs_since_ack > 0 then
+        if cb.Tcp_cb.segs_since_ack > 0 then begin
           Tcp_output.send_ack cb (get_ctx t sock);
+          update_armed t sock
+        end;
         Ok n
       end
       else if cb.Tcp_cb.fin_received then Ok 0
@@ -937,6 +1002,7 @@ let write t fd ~buf ~off ~len =
         else begin
           Dsim.Metrics.incr t.metrics.m_sock_write_bytes ~by:n;
           Tcp_output.flush cb (get_ctx t sock);
+          update_armed t sock;
           Ok n
         end
       | Tcp_cb.Syn_sent | Tcp_cb.Syn_received -> Error Errno.EAGAIN
@@ -948,7 +1014,9 @@ let write t fd ~buf ~off ~len =
 let flush_fd t fd =
   match tcp_sock_of_fd t fd with
   | None -> ()
-  | Some sock -> Tcp_output.flush sock.Socket.cb (get_ctx t sock)
+  | Some sock ->
+    Tcp_output.flush sock.Socket.cb (get_ctx t sock);
+    update_armed t sock
 
 let close t fd =
   match Socket.find t.table fd with
@@ -992,7 +1060,8 @@ let close t fd =
         Tcp_cb.to_closed cb ctx
       | Tcp_cb.Fin_wait_1 | Tcp_cb.Fin_wait_2 | Tcp_cb.Closing
       | Tcp_cb.Last_ack | Tcp_cb.Time_wait -> ());
-      if cb.Tcp_cb.state = Tcp_cb.Closed then release_fd t fd;
+      if cb.Tcp_cb.state = Tcp_cb.Closed then release_fd t fd
+      else update_armed t sock;
       Ok ()
     end
 
@@ -1002,6 +1071,9 @@ let close t fd =
 
 let epoll_create t =
   match Socket.alloc t.table (fun _fd -> Socket.Epoll_inst (Epoll.create ())) with
+  | Ok (fd, Socket.Epoll_inst ep) ->
+    Hashtbl.replace t.epolls fd ep;
+    Ok fd
   | Ok (fd, _) -> Ok fd
   | Error e -> Error e
 

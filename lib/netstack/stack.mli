@@ -26,10 +26,12 @@ type config = {
   loop_base_ns : float;  (** Fixed CPU cost of a non-empty iteration. *)
   per_packet_ns : float;  (** CPU cost per frame processed. *)
   rng_seed : int64;
+  max_fds : int;  (** Socket-table capacity (fd space). *)
 }
 
 val default_config : ip:Ipv4_addr.t -> config
-(** /24 subnet, no gateway, MTU 1500, calibrated loop costs. *)
+(** /24 subnet, no gateway, MTU 1500, calibrated loop costs,
+    1024 fds. *)
 
 type t
 

@@ -22,4 +22,5 @@ let () =
       ("audit", Test_audit.suite);
       ("profile", Test_profile.suite);
       ("journal", Test_journal.suite);
+      ("fleet", Test_fleet.suite);
     ]
